@@ -1,0 +1,126 @@
+//! Drivers for the libraries that share the task-runtime substrate
+//! (XKBlas and the runtime-based baseline models): build the routine's
+//! task graph through `xkblas-core` and simulate it under a per-library
+//! [`RuntimeConfig`].
+
+use xk_runtime::{RuntimeConfig, SimOutcome};
+use xk_topo::Topology;
+use xkblas_core::{
+    gemm_async, symm_async, syr2k_async, syrk_async, trmm_async, trsm_async, Context, Diag,
+    Matrix, Routine, Side, Trans, Uplo,
+};
+
+use crate::{RunParams, RunResult};
+
+/// Builds the standard square instance of `routine` (the paper's benchmark
+/// shapes: all operands `n × n`, lower/left/no-trans/non-unit) into `ctx`,
+/// returning the output matrix whose coherence closes the run.
+pub fn build_routine_graph(ctx: &mut Context<f64>, routine: Routine, n: usize, dod: bool) -> Matrix<f64> {
+    let a = Matrix::<f64>::phantom(n, n);
+    let b = Matrix::<f64>::phantom(n, n);
+    let c = Matrix::<f64>::phantom(n, n);
+    if dod {
+        ctx.distribute_2d_block_cyclic_async(&a);
+        ctx.distribute_2d_block_cyclic_async(&b);
+        ctx.distribute_2d_block_cyclic_async(&c);
+    }
+    match routine {
+        Routine::Gemm => {
+            gemm_async(ctx, Trans::No, Trans::No, 1.0, &a, &b, 0.5, &c);
+            c
+        }
+        Routine::Symm => {
+            symm_async(ctx, Side::Left, Uplo::Lower, 1.0, &a, &b, 0.5, &c);
+            c
+        }
+        Routine::Syrk => {
+            syrk_async(ctx, Uplo::Lower, Trans::No, 1.0, &a, 0.5, &c);
+            c
+        }
+        Routine::Syr2k => {
+            syr2k_async(ctx, Uplo::Lower, Trans::No, 1.0, &a, &b, 0.5, &c);
+            c
+        }
+        Routine::Trmm => {
+            trmm_async(ctx, Side::Left, Uplo::Lower, Trans::No, Diag::NonUnit, 1.0, &a, &b);
+            b
+        }
+        Routine::Trsm => {
+            trsm_async(ctx, Side::Left, Uplo::Lower, Trans::No, Diag::NonUnit, 1.0, &a, &b);
+            b
+        }
+    }
+}
+
+/// Simulates one routine call under `cfg`. Data-on-host runs end with a
+/// `memory_coherent` of the output (§IV-A end-to-end methodology);
+/// data-on-device runs leave results on the GPUs (§IV-C).
+pub fn run_on_runtime(
+    topo: &Topology,
+    params: &RunParams,
+    cfg: RuntimeConfig,
+    tile_layout: bool,
+) -> RunResult {
+    let mut ctx = Context::<f64>::new(topo.clone(), cfg, params.tile);
+    ctx.set_simulation_only(true);
+    ctx.set_tile_layout(tile_layout);
+    let out = build_routine_graph(&mut ctx, params.routine, params.n, params.data_on_device);
+    if !params.data_on_device && !ctx.config().eager_flush {
+        ctx.memory_coherent_async(&out);
+    }
+    let sim = ctx.run_simulated();
+    outcome_to_result(sim, params)
+}
+
+/// Converts a simulation outcome into the harness result type.
+pub fn outcome_to_result(sim: SimOutcome, params: &RunParams) -> RunResult {
+    let flops = params.routine.flops_square(params.n as u64);
+    RunResult {
+        seconds: sim.makespan,
+        tflops: sim.tflops(flops),
+        trace: sim.trace,
+        bytes_h2d: sim.bytes_h2d,
+        bytes_d2h: sim.bytes_d2h,
+        bytes_p2p: sim.bytes_p2p,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xk_runtime::RuntimeConfig;
+    use xk_topo::dgx1;
+
+    #[test]
+    fn all_routines_build_and_run() {
+        let topo = dgx1();
+        for routine in Routine::ALL {
+            let params = RunParams {
+                routine,
+                n: 4096,
+                tile: 1024,
+                data_on_device: false,
+            };
+            let r = run_on_runtime(&topo, &params, RuntimeConfig::xkblas(), false);
+            assert!(r.seconds > 0.0, "{routine:?} zero time");
+            assert!(r.tflops > 0.1, "{routine:?} unreasonably slow");
+            assert!(r.bytes_h2d > 0, "{routine:?} must read inputs");
+            assert!(r.bytes_d2h > 0, "{routine:?} must return the result");
+        }
+    }
+
+    #[test]
+    fn dod_run_has_no_host_traffic() {
+        let topo = dgx1();
+        let params = RunParams {
+            routine: Routine::Gemm,
+            n: 4096,
+            tile: 512,
+            data_on_device: true,
+        };
+        let r = run_on_runtime(&topo, &params, RuntimeConfig::xkblas(), false);
+        assert_eq!(r.bytes_h2d, 0);
+        assert_eq!(r.bytes_d2h, 0);
+        assert!(r.bytes_p2p > 0, "cross-GPU reads still occur");
+    }
+}

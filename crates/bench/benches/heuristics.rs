@@ -1,0 +1,78 @@
+//! Source-selection micro-benchmark: the per-transfer decision cost of the
+//! paper's heuristics (they sit on the critical path of every fetch), plus
+//! an end-to-end ablation at a communication-bound size.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use xk_baselines::{run, Library, RunParams, XkVariant};
+use xk_kernels::Routine;
+use xk_runtime::heuristics::select_source;
+use xk_runtime::{DataInfo, DataRegistry, Heuristics, SoftwareCache};
+use xk_sim::SimTime;
+
+fn bench_select_source(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select_source");
+    group.sample_size(30);
+    let topo = xk_topo::dgx1();
+    let mut reg = DataRegistry::new();
+    let handles: Vec<_> = (0..256)
+        .map(|i| reg.add(DataInfo::host(1 << 20, true, format!("t{i}"))))
+        .collect();
+    let mut cache = SoftwareCache::new(8, 32 << 30, &reg);
+    // Populate: a third valid on random GPUs, a third in flight, a third
+    // host-only.
+    for (i, &h) in handles.iter().enumerate() {
+        match i % 3 {
+            0 => cache.begin_transfer(h, i % 8, 1 << 20, SimTime::ZERO),
+            1 => cache.begin_transfer(h, (i * 5) % 8, 1 << 20, SimTime::new(1e9_f64)),
+            _ => {}
+        }
+    }
+    let now = SimTime::new(1.0);
+    group.throughput(Throughput::Elements(handles.len() as u64));
+    for (name, cfg) in [
+        ("full", Heuristics::full()),
+        ("no_optimistic", Heuristics::no_optimistic()),
+        ("none", Heuristics::none()),
+    ] {
+        group.bench_function(name, |bench| {
+            bench.iter(|| {
+                let mut acc = 0usize;
+                for (i, &h) in handles.iter().enumerate() {
+                    let mut tie = |c: &[usize]| c.len() - 1;
+                    let d = select_source(h, (i + 3) % 8, now, &cache, &topo, cfg, &mut tie);
+                    acc += match d {
+                        xk_runtime::heuristics::SourceDecision::FromHost => 1,
+                        _ => 2,
+                    };
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sim_n8192");
+    group.sample_size(10);
+    let topo = xk_topo::dgx1();
+    let params = RunParams {
+        routine: Routine::Gemm,
+        n: 8192,
+        tile: 1024,
+        data_on_device: false,
+    };
+    for (name, variant) in [
+        ("full", XkVariant::Full),
+        ("no_heuristic", XkVariant::NoHeuristic),
+        ("none", XkVariant::NoHeuristicNoTopo),
+    ] {
+        group.bench_function(name, |bench| {
+            bench.iter(|| run(Library::XkBlas(variant), &topo, &params).unwrap().seconds);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_select_source, bench_ablation_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Micro-benchmarks of the numeric tile kernels (the host-compute path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xk_kernels::parallel::{par_fill_pattern, par_gemm};
+use xk_kernels::{gemm, trsm, Diag, MatMut, MatRef, Side, Trans, Uplo};
+
+fn bench_gemm_tiles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tile_dgemm");
+    group.sample_size(20);
+    for &n in &[64usize, 128, 256] {
+        let mut a = vec![0.0f64; n * n];
+        let mut b = vec![0.0f64; n * n];
+        par_fill_pattern(MatMut::from_slice(&mut a, n, n, n), 1);
+        par_fill_pattern(MatMut::from_slice(&mut b, n, n, n), 2);
+        let mut cm = vec![0.0f64; n * n];
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                gemm(
+                    Trans::No,
+                    Trans::No,
+                    1.0,
+                    MatRef::from_slice(&a, n, n, n),
+                    MatRef::from_slice(&b, n, n, n),
+                    0.5,
+                    MatMut::from_slice(&mut cm, n, n, n),
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_trsm_tile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tile_dtrsm");
+    group.sample_size(20);
+    let n = 128usize;
+    let mut a = vec![0.0f64; n * n];
+    par_fill_pattern(MatMut::from_slice(&mut a, n, n, n), 3);
+    for i in 0..n {
+        a[i + i * n] = 4.0;
+    }
+    let mut b = vec![0.0f64; n * n];
+    par_fill_pattern(MatMut::from_slice(&mut b, n, n, n), 4);
+    group.bench_function("128", |bench| {
+        bench.iter(|| {
+            trsm(
+                Side::Left,
+                Uplo::Lower,
+                Trans::No,
+                Diag::NonUnit,
+                1.0,
+                MatRef::from_slice(&a, n, n, n),
+                MatMut::from_slice(&mut b, n, n, n),
+            );
+        });
+    });
+    group.finish();
+}
+
+fn bench_par_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_dgemm");
+    group.sample_size(10);
+    let n = 384usize;
+    let mut a = vec![0.0f64; n * n];
+    let mut b = vec![0.0f64; n * n];
+    par_fill_pattern(MatMut::from_slice(&mut a, n, n, n), 5);
+    par_fill_pattern(MatMut::from_slice(&mut b, n, n, n), 6);
+    let mut cm = vec![0.0f64; n * n];
+    group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+    group.bench_function("384", |bench| {
+        bench.iter(|| {
+            par_gemm(
+                Trans::No,
+                Trans::No,
+                1.0,
+                MatRef::from_slice(&a, n, n, n),
+                MatRef::from_slice(&b, n, n, n),
+                0.0,
+                MatMut::from_slice(&mut cm, n, n, n),
+            );
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm_tiles, bench_trsm_tile, bench_par_gemm);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Task creation + scheduling overhead: the cost the paper's abstract
+//! highlights ("including the overhead of creation and scheduling of
+//! dynamic tasks"). Measures graph construction throughput and full
+//! simulated-execution throughput in tasks/second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xk_runtime::RuntimeConfig;
+use xkblas_core::{gemm_async, Context, Matrix, Trans};
+
+fn build_gemm_graph(n_tiles: usize) -> Context<f64> {
+    let n = n_tiles * 256;
+    let mut ctx = Context::<f64>::new(xk_topo::dgx1(), RuntimeConfig::xkblas(), 256);
+    ctx.set_simulation_only(true);
+    let a = Matrix::<f64>::phantom(n, n);
+    let b = Matrix::<f64>::phantom(n, n);
+    let c = Matrix::<f64>::phantom(n, n);
+    gemm_async(&mut ctx, Trans::No, Trans::No, 1.0, &a, &b, 0.5, &c);
+    ctx
+}
+
+fn bench_graph_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_construction");
+    group.sample_size(20);
+    for &t in &[4usize, 8] {
+        let tasks = (t * t * t) as u64;
+        group.throughput(Throughput::Elements(tasks));
+        group.bench_with_input(BenchmarkId::new("gemm_tasks", tasks), &t, |bench, &t| {
+            bench.iter(|| {
+                let ctx = build_gemm_graph(t);
+                assert_eq!(ctx.pending_tasks(), t * t * t);
+                ctx
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Simulated execution (graph build + full DES run) through the public API.
+fn bench_context_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulated_execution");
+    group.sample_size(10);
+    for &t in &[4usize, 8] {
+        let tasks = (t * t * t) as u64;
+        group.throughput(Throughput::Elements(tasks));
+        group.bench_with_input(BenchmarkId::new("gemm_sim", tasks), &t, |bench, &t| {
+            bench.iter(|| {
+                let mut ctx = build_gemm_graph(t);
+                ctx.run_simulated()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_construction, bench_context_sim);
+criterion_main!(benches);

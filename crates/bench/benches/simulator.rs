@@ -1,0 +1,51 @@
+//! Discrete-event core throughput: event heap and engine reservations.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use xk_sim::{Clock, Duration, EnginePool, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.sample_size(20);
+    let n = 10_000u64;
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("push_pop_10k", |bench| {
+        bench.iter(|| {
+            let mut clock: Clock<u64> = Clock::new();
+            for i in 0..n {
+                // Pseudo-random but deterministic times.
+                let t = (i.wrapping_mul(2654435761) % 1000) as f64 * 1e-3;
+                clock.schedule(SimTime::new(t), i);
+            }
+            let mut count = 0;
+            while clock.next().is_some() {
+                count += 1;
+            }
+            assert_eq!(count, n);
+        });
+    });
+    group.finish();
+}
+
+fn bench_reservations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_reservations");
+    group.sample_size(20);
+    let n = 10_000u64;
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("joint_reserve_10k", |bench| {
+        bench.iter(|| {
+            let mut pool = EnginePool::new();
+            let engines: Vec<_> = (0..16).map(|i| pool.add(format!("e{i}"))).collect();
+            for i in 0..n {
+                let a = engines[(i % 16) as usize];
+                let b = engines[((i / 16) % 16) as usize];
+                let ids = if a == b { vec![a] } else { vec![a, b] };
+                pool.reserve(&ids, SimTime::ZERO, Duration::new(1e-6));
+            }
+            pool
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_reservations);
+criterion_main!(benches);

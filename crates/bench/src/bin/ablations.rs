@@ -1,0 +1,106 @@
+//! Ablations of the reproduction's own design choices (beyond the paper's
+//! Fig. 3): prefetch depth/policy, scheduler, task overhead — the knobs
+//! DESIGN.md calls out. Each sweep isolates one knob on DGEMM data-on-host.
+
+use xk_bench::Table;
+use xk_kernels::Routine;
+use xk_runtime::{RuntimeConfig, SchedulerKind};
+use xkblas_core::{Context, Matrix};
+
+fn run_with(cfg: RuntimeConfig, n: usize, tile: usize) -> f64 {
+    let topo = xk_topo::dgx1();
+    let mut ctx = Context::<f64>::new(topo, cfg, tile);
+    ctx.set_simulation_only(true);
+    let a = Matrix::<f64>::phantom(n, n);
+    let b = Matrix::<f64>::phantom(n, n);
+    let c = Matrix::<f64>::phantom(n, n);
+    xkblas_core::gemm_async(&mut ctx, xkblas_core::Trans::No, xkblas_core::Trans::No, 1.0, &a, &b, 0.5, &c);
+    ctx.memory_coherent_async(&c);
+    let sim = ctx.run_simulated();
+    sim.tflops(Routine::Gemm.flops_square(n as u64))
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n, tile) = if quick { (16384, 2048) } else { (24576, 2048) };
+    println!("Ablations on DGEMM N={n}, tile {tile}, data-on-host (TFlop/s)\n");
+
+    // (1) In-flight window depth. With assignment-time prefetch the window
+    // only gates kernels (which serialize anyway), so this sweep uses
+    // launch-time fetching, where the window is the pipeline depth.
+    {
+        let mut t = Table::new(&["window", "TFlop/s"]);
+        for w in [1usize, 2, 4, 8, 16, 32] {
+            let mut cfg = RuntimeConfig::xkblas();
+            cfg.window = w;
+            cfg.prefetch_at_assign = false;
+            t.row(vec![w.to_string(), format!("{:.2}", run_with(cfg, n, tile))]);
+        }
+        println!("window depth (launch-time fetching)\n{}", t.render());
+    }
+
+    // (2) Prefetch at assignment vs at launch.
+    {
+        let mut t = Table::new(&["prefetch", "TFlop/s"]);
+        for (name, at_assign) in [("at assignment (XKaapi)", true), ("at launch (StarPU-like)", false)] {
+            let mut cfg = RuntimeConfig::xkblas();
+            cfg.prefetch_at_assign = at_assign;
+            t.row(vec![name.to_string(), format!("{:.2}", run_with(cfg, n, tile))]);
+        }
+        println!("prefetch policy\n{}", t.render());
+    }
+
+    // (3) Scheduler.
+    {
+        let mut t = Table::new(&["scheduler", "TFlop/s"]);
+        for (name, s) in [
+            ("locality work stealing", SchedulerKind::LocalityWorkStealing),
+            ("dmdas", SchedulerKind::Dmdas),
+            ("static owner", SchedulerKind::StaticOwner),
+            ("round robin", SchedulerKind::RoundRobin),
+        ] {
+            let cfg = RuntimeConfig::xkblas().with_scheduler(s);
+            t.row(vec![name.to_string(), format!("{:.2}", run_with(cfg, n, tile))]);
+        }
+        println!("scheduler\n{}", t.render());
+    }
+
+    // (4) Per-task submission overhead — at a fine tile size where the
+    // task count makes the serial submission thread visible.
+    {
+        let fine = tile / 4;
+        let mut t = Table::new(&["task overhead", "TFlop/s"]);
+        for us in [0.0, 6.0, 20.0, 60.0, 200.0] {
+            let mut cfg = RuntimeConfig::xkblas();
+            cfg.task_overhead = us * 1e-6;
+            t.row(vec![format!("{us} us"), format!("{:.2}", run_with(cfg, n, fine))]);
+        }
+        println!("task creation/scheduling overhead (tile {fine})\n{}", t.render());
+    }
+
+    // (5) Input caching — measured without D2D so that every re-read hits
+    // the host (the PaRSEC-like configuration of DESIGN.md §6).
+    {
+        let mut t = Table::new(&["software cache", "TFlop/s"]);
+        for (name, cache) in [("inputs cached", true), ("inputs re-read per task", false)] {
+            let mut cfg = RuntimeConfig::xkblas();
+            cfg.heuristics = xk_runtime::Heuristics::host_only();
+            cfg.prefetch_at_assign = false;
+            cfg.window = 4;
+            cfg.cache_inputs = cache;
+            t.row(vec![name.to_string(), format!("{:.2}", run_with(cfg, n, tile))]);
+        }
+        println!("input caching (host-staged transfers)\n{}", t.render());
+    }
+
+    // (6) Eager flush-back.
+    {
+        let mut t = Table::new(&["write-back policy", "TFlop/s"]);
+        for (name, eager) in [("lazy (explicit coherency)", false), ("eager per final tile", true)] {
+            let mut cfg = RuntimeConfig::xkblas();
+            cfg.eager_flush = eager;
+            t.row(vec![name.to_string(), format!("{:.2}", run_with(cfg, n, tile))]);
+        }
+        println!("write-back policy\n{}", t.render());
+    }
+}

@@ -1,0 +1,97 @@
+//! Calibration dashboard: prints the headline quantities the paper reports
+//! so the model can be tuned (not itself a paper figure).
+//!
+//! Targets (paper §I, §IV):
+//!   * XKBlas DGEMM peak ≈ 56.9 TF/s (91% of 62.4), ≈ 54 TF/s at N ≈ 24576
+//!   * vs cuBLAS-XT up to 2.84×, vs cuBLAS-MG 1.13×, vs Chameleon Tile 3×,
+//!     vs SLATE / Chameleon LAPACK ≈ 5× (best gains at N < 40000)
+//!   * Table II ablations at N ≥ 16384.
+
+use xk_baselines::{Library, XkVariant};
+use xk_bench::{best_tile_run, Table};
+use xk_kernels::Routine;
+
+fn main() {
+    let topo = xk_topo::dgx1();
+    let dims = [8192usize, 16384, 24576, 32768, 49152];
+
+    let libs = [
+        Library::XkBlas(XkVariant::Full),
+        Library::XkBlas(XkVariant::NoHeuristic),
+        Library::XkBlas(XkVariant::NoHeuristicNoTopo),
+        Library::CublasXt,
+        Library::CublasMg,
+        Library::ChameleonTile,
+        Library::ChameleonLapack,
+        Library::Slate,
+        Library::Dplasma,
+        Library::Blasx,
+    ];
+
+    for routine in [Routine::Gemm, Routine::Syr2k, Routine::Trsm] {
+        println!("== {} (TFlop/s, data-on-host) ==", routine.name());
+        let mut t = Table::new(&{
+            let mut h = vec!["library"];
+            h.extend(dims.iter().map(|n| match n {
+                8192 => "8192",
+                16384 => "16384",
+                24576 => "24576",
+                32768 => "32768",
+                _ => "49152",
+            }));
+            h
+        });
+        for lib in libs {
+            if !lib.supports(routine) {
+                continue;
+            }
+            let mut row = vec![lib.name().to_string()];
+            for &n in &dims {
+                match best_tile_run(lib, &topo, routine, n, false) {
+                    Ok((tile, r)) => row.push(format!("{:.1} (t{})", r.tflops, tile / 1024)),
+                    Err(e) => row.push(format!("{e:?}")),
+                }
+            }
+            t.row(row);
+        }
+        println!("{}", t.render());
+    }
+
+    // Byte/ratio diagnostics at N=32768 GEMM.
+    println!("== transfer diagnostics, GEMM N=32768 ==");
+    for lib in libs {
+        if !lib.supports(Routine::Gemm) {
+            continue;
+        }
+        if let Ok((tile, r)) = best_tile_run(lib, &topo, Routine::Gemm, 32768, false) {
+            println!(
+                "{:>30}: t{} h2d {:6.1} GB  d2h {:6.1} GB  p2p {:6.1} GB  xfer-ratio {:4.1}%  {:5.1} TF",
+                lib.name(),
+                tile / 1024,
+                r.bytes_h2d as f64 / 1e9,
+                r.bytes_d2h as f64 / 1e9,
+                r.bytes_p2p as f64 / 1e9,
+                r.trace.breakdown().transfer_ratio() * 100.0,
+                r.tflops
+            );
+        }
+    }
+    println!();
+
+    // Data-on-device gain.
+    println!("== XKBlas DoD vs DoH (GEMM) ==");
+    for &n in &[16384usize, 24576, 32768] {
+        let (_, doh) =
+            best_tile_run(Library::XkBlas(XkVariant::Full), &topo, Routine::Gemm, n, false)
+                .unwrap();
+        let (_, dod) =
+            best_tile_run(Library::XkBlas(XkVariant::Full), &topo, Routine::Gemm, n, true)
+                .unwrap();
+        println!(
+            "N={n}: DoH {:.1} TF, DoD {:.1} TF, gain {:+.1}%",
+            doh.tflops,
+            dod.tflops,
+            (dod.tflops / doh.tflops - 1.0) * 100.0
+        );
+    }
+}

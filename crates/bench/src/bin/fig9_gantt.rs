@@ -1,0 +1,13 @@
+//! Reproduces Fig. 9: Gantt chart of the TRSM+GEMM composition at
+//! N=32768, block size 2048 — XKBlas composes without synchronization
+//! gaps, Chameleon shows an inter-call hole.
+
+use xk_bench::figs;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n = if quick { 16384 } else { 32768 };
+    let topo = xk_topo::dgx1();
+    println!("Fig. 9 — composition Gantt (N={n}, block 2048)\n");
+    print!("{}", figs::fig9_gantt(&topo, n, 2048, 110));
+}

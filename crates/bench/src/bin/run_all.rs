@@ -1,0 +1,64 @@
+//! Runs every table/figure reproduction in sequence (pass --quick for the
+//! reduced sweep) and writes all CSV artifacts under results/.
+
+use xk_bench::figs;
+use xk_bench::write_csv;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let topo = xk_topo::dgx1();
+    let dims = figs::dims(quick);
+
+    println!("================ Table I / Fig. 1 ================\n");
+    print!("{}", figs::table1_platform());
+
+    println!("\n================ Fig. 2 ================\n");
+    let t = figs::fig2_bandwidth(&topo);
+    println!("{}", t.render());
+    let _ = write_csv("fig2_bandwidth.csv", &t.to_csv());
+
+    println!("\n================ Fig. 3 ================\n");
+    for (routine, table) in figs::fig3_heuristics(&topo, &dims) {
+        println!("{}\n{}", routine.name(), table.render());
+        let _ = write_csv(&format!("fig3_{}.csv", routine.name().to_lowercase()), &table.to_csv());
+    }
+
+    println!("\n================ Table II ================\n");
+    let t = figs::table2_gains(&topo, &dims);
+    println!("{}", t.render());
+    let _ = write_csv("table2_gains.csv", &t.to_csv());
+
+    println!("\n================ Fig. 4 ================\n");
+    for (routine, table) in figs::fig4_data_on_device(&topo, &dims) {
+        println!("{}\n{}", routine.name(), table.render());
+        let _ = write_csv(&format!("fig4_{}.csv", routine.name().to_lowercase()), &table.to_csv());
+    }
+
+    println!("\n================ Fig. 5 ================\n");
+    for (routine, table) in figs::fig5_libraries(&topo, &dims) {
+        println!("{}\n{}", routine.name(), table.render());
+        let _ = write_csv(&format!("fig5_{}.csv", routine.name().to_lowercase()), &table.to_csv());
+    }
+
+    let n6 = if quick { 16384 } else { 32768 };
+    println!("\n================ Fig. 6 (N={n6}) ================\n");
+    let t = figs::fig6_trace_gemm(&topo, n6);
+    println!("{}", t.render());
+    let _ = write_csv("fig6_trace_gemm.csv", &t.to_csv());
+
+    let n7 = if quick { 16384 } else { 49152 };
+    println!("\n================ Fig. 7 (N={n7}) ================\n");
+    for (lib, table, imb) in figs::fig7_trace_syr2k(&topo, n7) {
+        println!("{} (imbalance {:.1}%)\n{}", lib.name(), imb * 100.0, table.render());
+    }
+
+    println!("\n================ Fig. 8 ================\n");
+    let comp_dims: Vec<usize> = if quick { vec![8192, 16384] } else { vec![8192, 16384, 24576, 32768, 49152] };
+    let t = figs::fig8_composition(&topo, &comp_dims, 2048);
+    println!("{}", t.render());
+    let _ = write_csv("fig8_composition.csv", &t.to_csv());
+
+    let n9 = if quick { 16384 } else { 32768 };
+    println!("\n================ Fig. 9 (N={n9}) ================\n");
+    print!("{}", figs::fig9_gantt(&topo, n9, 2048, 110));
+}

@@ -1,0 +1,5 @@
+//! Reproduces Table I and Fig. 1: the modelled platform description.
+
+fn main() {
+    print!("{}", xk_bench::figs::table1_platform());
+}

@@ -1,0 +1,323 @@
+//! One reproduction function per table/figure of the paper. The binaries
+//! in `src/bin/` are thin wrappers so that `run_all` and the integration
+//! tests can drive the same code.
+
+use std::fmt::Write as _;
+
+use xk_baselines::{run, Library, RunParams, XkVariant};
+use xk_kernels::Routine;
+use xk_topo::{dgx1, Topology, DGX1_TABLE1};
+use xk_trace::SpanKind;
+
+use crate::composition::{run_chameleon_composition, run_xkblas_composition};
+use crate::report::{fmt_tflops, Table};
+use crate::sweep::{best_tile_run, sweep_series};
+
+/// Dimensions to sweep: `quick` trims the grid for tests/CI.
+pub fn dims(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![8192, 16384, 24576]
+    } else {
+        crate::sweep::PAPER_DIMS.to_vec()
+    }
+}
+
+/// Table I + Fig. 1: platform description and NVLink adjacency.
+pub fn table1_platform() -> String {
+    let topo = dgx1();
+    let mut out = String::from("Table I — DGX-1 multi-GPU system (modelled)\n");
+    for (k, v) in DGX1_TABLE1 {
+        let _ = writeln!(out, "  {k:<22} {v}");
+    }
+    out.push_str("\nFig. 1 — hybrid cube-mesh NVLink adjacency (x2 = two bricks):\n");
+    for (a, b, class) in topo.nvlink_edges() {
+        let _ = writeln!(out, "  gpu{a} <-> gpu{b}  {}", class.label());
+    }
+    let _ = writeln!(
+        out,
+        "  PCIe switches: {} (two GPUs each), 2 sockets",
+        topo.n_switches()
+    );
+    out
+}
+
+/// Fig. 2: GPU↔GPU bandwidth matrix in GB/s from simulated point-to-point
+/// transfers, next to the paper's measured values.
+pub fn fig2_bandwidth(topo: &Topology) -> Table {
+    let measured = xk_runtime::measure_bandwidth_matrix(topo, 64 << 20);
+    let n = topo.n_gpus();
+    let mut header = vec!["D\\D".to_string()];
+    header.extend((0..n).map(|j| j.to_string()));
+    let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+    for (i, row) in measured.iter().enumerate() {
+        let mut cells = vec![i.to_string()];
+        cells.extend(row.iter().map(|v| format!("{v:.2}")));
+        t.row(cells);
+    }
+    t
+}
+
+/// Fig. 3: GEMM/SYR2K/TRSM data-on-host with the heuristics ablated, plus
+/// cuBLAS-XT as the reference. Returns one table per routine.
+pub fn fig3_heuristics(topo: &Topology, dims: &[usize]) -> Vec<(Routine, Table)> {
+    let libs = [
+        Library::CublasXt,
+        Library::XkBlas(XkVariant::Full),
+        Library::XkBlas(XkVariant::NoHeuristic),
+        Library::XkBlas(XkVariant::NoHeuristicNoTopo),
+    ];
+    [Routine::Gemm, Routine::Syr2k, Routine::Trsm]
+        .into_iter()
+        .map(|routine| {
+            let mut header = vec!["library".to_string()];
+            header.extend(dims.iter().map(|n| n.to_string()));
+            let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+            for lib in libs {
+                let pts = sweep_series(lib, topo, routine, dims, false);
+                let mut row = vec![lib.name().to_string()];
+                row.extend(pts.iter().map(|p| fmt_tflops(p.tflops)));
+                t.row(row);
+            }
+            (routine, t)
+        })
+        .collect()
+}
+
+/// Table II: maximum loss/gain vs baseline XKBlas for N ≥ 16384.
+pub fn table2_gains(topo: &Topology, dims: &[usize]) -> Table {
+    let big: Vec<usize> = dims.iter().copied().filter(|&n| n >= 16384).collect();
+    let mut t = Table::new(&["Kernel", "data-on-device", "no heuristic", "no heuristic, no topo"]);
+    for routine in [Routine::Gemm, Routine::Syr2k, Routine::Trsm] {
+        let mut max_dod: f64 = f64::NEG_INFINITY;
+        let mut max_noh: f64 = f64::INFINITY;
+        let mut max_notopo: f64 = f64::INFINITY;
+        for &n in &big {
+            let base = best_tile_run(Library::XkBlas(XkVariant::Full), topo, routine, n, false)
+                .expect("xkblas always runs")
+                .1
+                .tflops;
+            let dod = best_tile_run(Library::XkBlas(XkVariant::Full), topo, routine, n, true)
+                .expect("dod runs")
+                .1
+                .tflops;
+            let noh = best_tile_run(Library::XkBlas(XkVariant::NoHeuristic), topo, routine, n, false)
+                .expect("variant runs")
+                .1
+                .tflops;
+            let notopo = best_tile_run(
+                Library::XkBlas(XkVariant::NoHeuristicNoTopo),
+                topo,
+                routine,
+                n,
+                false,
+            )
+            .expect("variant runs")
+            .1
+            .tflops;
+            max_dod = max_dod.max((dod / base - 1.0) * 100.0);
+            max_noh = max_noh.min((noh / base - 1.0) * 100.0);
+            max_notopo = max_notopo.min((notopo / base - 1.0) * 100.0);
+        }
+        t.row(vec![
+            format!("D{}", routine.name()),
+            format!("{max_dod:+.1}%"),
+            format!("{max_noh:+.1}%"),
+            format!("{max_notopo:+.1}%"),
+        ]);
+    }
+    t
+}
+
+/// Fig. 4: data-on-device (paper: tile = ceil(N / (2·#gpus)), (4,2) grid)
+/// vs the data-on-host references.
+pub fn fig4_data_on_device(topo: &Topology, dims: &[usize]) -> Vec<(Routine, Table)> {
+    [Routine::Gemm, Routine::Syr2k, Routine::Trsm]
+        .into_iter()
+        .map(|routine| {
+            let mut header = vec!["series".to_string()];
+            header.extend(dims.iter().map(|n| n.to_string()));
+            let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+
+            // XKBlas DoD with the paper's tile rule.
+            let mut dod_row = vec!["XKBlas DoD".to_string()];
+            for &n in dims {
+                let tile = n.div_ceil(2 * topo.n_gpus()).max(256);
+                let params = RunParams {
+                    routine,
+                    n,
+                    tile,
+                    data_on_device: true,
+                };
+                let r = run(Library::XkBlas(XkVariant::Full), topo, &params)
+                    .expect("xkblas dod runs");
+                dod_row.push(format!("{:.2}", r.tflops));
+            }
+            t.row(dod_row);
+
+            for lib in [
+                Library::XkBlas(XkVariant::Full),
+                Library::ChameleonTile,
+                Library::CublasXt,
+            ] {
+                let pts = sweep_series(lib, topo, routine, dims, false);
+                let mut row = vec![lib.name().to_string()];
+                row.extend(pts.iter().map(|p| fmt_tflops(p.tflops)));
+                t.row(row);
+            }
+            (routine, t)
+        })
+        .collect()
+}
+
+/// Fig. 5: all six routines across the eight libraries.
+pub fn fig5_libraries(topo: &Topology, dims: &[usize]) -> Vec<(Routine, Table)> {
+    Routine::ALL
+        .into_iter()
+        .map(|routine| {
+            let mut header = vec!["library".to_string()];
+            header.extend(dims.iter().map(|n| n.to_string()));
+            let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+            for lib in Library::FIG5 {
+                if !lib.supports(routine) {
+                    continue;
+                }
+                let pts = sweep_series(lib, topo, routine, dims, false);
+                let mut row = vec![lib.name().to_string()];
+                row.extend(pts.iter().map(|p| fmt_tflops(p.tflops)));
+                t.row(row);
+            }
+            (routine, t)
+        })
+        .collect()
+}
+
+/// Libraries of the trace figures (Fig. 6 uses six; we show the modelled
+/// ones that run GEMM).
+const FIG6_LIBS: [Library; 6] = [
+    Library::Blasx,
+    Library::ChameleonTile,
+    Library::CublasMg,
+    Library::CublasXt,
+    Library::Dplasma,
+    Library::XkBlas(XkVariant::Full),
+];
+
+/// Fig. 6: cumulative GPU seconds and normalized ratio per operation kind
+/// for GEMM at the given dimension (paper: 32768).
+pub fn fig6_trace_gemm(topo: &Topology, n: usize) -> Table {
+    let mut t = Table::new(&[
+        "library", "DtoH s", "HtoD s", "PtoP s", "Kernel s", "DtoH %", "HtoD %", "PtoP %",
+        "Kernel %", "xfer %",
+    ]);
+    for lib in FIG6_LIBS {
+        let Ok((_, r)) = best_tile_run(lib, topo, Routine::Gemm, n, false) else {
+            continue;
+        };
+        let b = r.trace.breakdown();
+        let total = b.total().max(1e-12);
+        t.row(vec![
+            lib.name().to_string(),
+            format!("{:.3}", b.get(SpanKind::D2H)),
+            format!("{:.3}", b.get(SpanKind::H2D)),
+            format!("{:.3}", b.get(SpanKind::P2P)),
+            format!("{:.3}", b.get(SpanKind::Kernel)),
+            format!("{:.1}", b.get(SpanKind::D2H) / total * 100.0),
+            format!("{:.1}", b.get(SpanKind::H2D) / total * 100.0),
+            format!("{:.1}", b.get(SpanKind::P2P) / total * 100.0),
+            format!("{:.1}", b.get(SpanKind::Kernel) / total * 100.0),
+            format!("{:.1}", b.transfer_ratio() * 100.0),
+        ]);
+    }
+    t
+}
+
+/// Fig. 7: per-GPU time breakdown of SYR2K at the given dimension
+/// (paper: 49152) for Chameleon Tile, cuBLAS-XT and XKBlas.
+pub fn fig7_trace_syr2k(topo: &Topology, n: usize) -> Vec<(Library, Table, f64)> {
+    [Library::ChameleonTile, Library::CublasXt, Library::XkBlas(XkVariant::Full)]
+        .into_iter()
+        .filter_map(|lib| {
+            let (_, r) = best_tile_run(lib, topo, Routine::Syr2k, n, false).ok()?;
+            let mut t = Table::new(&["gpu", "DtoH s", "HtoD s", "PtoP s", "Kernel s"]);
+            let per = r.trace.breakdown_per_device();
+            for g in 0..topo.n_gpus() {
+                let b = per.get(&xk_trace::Place::Gpu(g as u32)).cloned().unwrap_or_default();
+                t.row(vec![
+                    format!("{}", g + 1),
+                    format!("{:.3}", b.get(SpanKind::D2H)),
+                    format!("{:.3}", b.get(SpanKind::H2D)),
+                    format!("{:.3}", b.get(SpanKind::P2P)),
+                    format!("{:.3}", b.get(SpanKind::Kernel)),
+                ]);
+            }
+            let imb = xk_sim::imbalance(&r.trace.kernel_load_per_gpu(topo.n_gpus()));
+            Some((lib, t, imb))
+        })
+        .collect()
+}
+
+/// Fig. 8: the TRSM+GEMM composition sweep.
+pub fn fig8_composition(topo: &Topology, dims: &[usize], tile: usize) -> Table {
+    let mut header = vec!["series".to_string()];
+    header.extend(dims.iter().map(|n| n.to_string()));
+    let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+    let mut xk = vec!["XKBlas".to_string()];
+    let mut ch = vec!["Chameleon Tiled".to_string()];
+    for &n in dims {
+        xk.push(format!("{:.2}", run_xkblas_composition(topo, n, tile).tflops));
+        ch.push(format!("{:.2}", run_chameleon_composition(topo, n, tile).tflops));
+    }
+    t.row(xk);
+    t.row(ch);
+    t
+}
+
+/// Fig. 9: Gantt charts of one composition run per library.
+pub fn fig9_gantt(topo: &Topology, n: usize, tile: usize, width: usize) -> String {
+    let opts = xk_trace::GanttOptions {
+        width,
+        per_lane: false,
+    };
+    let x = run_xkblas_composition(topo, n, tile);
+    let c = run_chameleon_composition(topo, n, tile);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "XKBlas composition (N={n}, block {tile}): {:.3}s, longest global gap {:.1} ms",
+        x.seconds,
+        x.sync_gap * 1e3
+    );
+    out.push_str(&xk_trace::gantt::render(&x.trace, topo.n_gpus(), &opts));
+    let _ = writeln!(
+        out,
+        "\nChameleon Tile composition: {:.3}s, longest global gap {:.1} ms",
+        c.seconds,
+        c.sync_gap * 1e3
+    );
+    out.push_str(&xk_trace::gantt::render(&c.trace, topo.n_gpus(), &opts));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_mentions_v100_and_links() {
+        let s = table1_platform();
+        assert!(s.contains("V100"));
+        assert!(s.contains("gpu0 <-> gpu3"));
+    }
+
+    #[test]
+    fn fig2_matrix_shape() {
+        let t = fig2_bandwidth(&dgx1());
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn fig6_includes_xkblas_row() {
+        let t = fig6_trace_gemm(&dgx1(), 8192);
+        assert!(t.render().contains("XKBlas"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Parameter sweeps with the paper's best-tile selection.
+
+use xk_baselines::{run, Library, RunError, RunParams, RunResult};
+use xk_kernels::Routine;
+use xk_topo::Topology;
+
+/// Matrix dimensions of the paper's x-axes (Fig. 3–5: 4096 … 49152).
+pub const PAPER_DIMS: [usize; 7] = [4096, 8192, 16384, 24576, 32768, 40960, 49152];
+
+/// A reduced sweep for quick runs / CI.
+pub const PAPER_DIMS_SMALL: [usize; 4] = [4096, 8192, 16384, 24576];
+
+/// One point of a performance series.
+#[derive(Clone, Debug)]
+pub struct SeriesPoint {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Best-performing tile size among the library's candidates.
+    pub tile: usize,
+    /// Achieved TFlop/s (None when the library errors at this point, e.g.
+    /// BLASX out-of-memory above N = 45000).
+    pub tflops: Option<f64>,
+    /// The run with the winning tile (None on error).
+    pub result: Option<RunResult>,
+}
+
+/// Runs `lib` at dimension `n`, trying every candidate tile size and
+/// keeping the best (§IV-A block-size selection).
+pub fn best_tile_run(
+    lib: Library,
+    topo: &Topology,
+    routine: Routine,
+    n: usize,
+    data_on_device: bool,
+) -> Result<(usize, RunResult), RunError> {
+    let mut best: Option<(usize, RunResult)> = None;
+    let mut last_err = RunError::Unsupported;
+    for &tile in lib.tile_candidates() {
+        if tile > n {
+            continue;
+        }
+        let params = RunParams {
+            routine,
+            n,
+            tile,
+            data_on_device,
+        };
+        match run(lib, topo, &params) {
+            Ok(r) => {
+                let better = best
+                    .as_ref()
+                    .map(|(_, b)| r.tflops > b.tflops)
+                    .unwrap_or(true);
+                if better {
+                    best = Some((tile, r));
+                }
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    // Tiny problems where every candidate exceeds n: fall back to one tile.
+    if best.is_none() && lib.tile_candidates().iter().all(|&t| t > n) {
+        let params = RunParams {
+            routine,
+            n,
+            tile: n.max(1),
+            data_on_device,
+        };
+        if let Ok(r) = run(lib, topo, &params) {
+            best = Some((n.max(1), r));
+        }
+    }
+    best.ok_or(last_err)
+}
+
+/// Sweeps a whole series of dimensions for one `(library, routine)`.
+pub fn sweep_series(
+    lib: Library,
+    topo: &Topology,
+    routine: Routine,
+    dims: &[usize],
+    data_on_device: bool,
+) -> Vec<SeriesPoint> {
+    dims.iter()
+        .map(|&n| match best_tile_run(lib, topo, routine, n, data_on_device) {
+            Ok((tile, r)) => SeriesPoint {
+                n,
+                tile,
+                tflops: Some(r.tflops),
+                result: Some(r),
+            },
+            Err(_) => SeriesPoint {
+                n,
+                tile: 0,
+                tflops: None,
+                result: None,
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xk_baselines::XkVariant;
+    use xk_topo::dgx1;
+
+    #[test]
+    fn best_tile_is_from_candidate_set() {
+        let topo = dgx1();
+        let (tile, r) =
+            best_tile_run(Library::XkBlas(XkVariant::Full), &topo, Routine::Gemm, 8192, false)
+                .unwrap();
+        assert!(Library::XkBlas(XkVariant::Full)
+            .tile_candidates()
+            .contains(&tile));
+        assert!(r.tflops > 1.0);
+    }
+
+    #[test]
+    fn series_reports_oom_as_none() {
+        let topo = dgx1();
+        let pts = sweep_series(Library::Blasx, &topo, Routine::Gemm, &[8192, 49152], false);
+        assert!(pts[0].tflops.is_some());
+        assert!(pts[1].tflops.is_none());
+    }
+
+    #[test]
+    fn small_problem_fallback_tile() {
+        let topo = dgx1();
+        let (tile, _) =
+            best_tile_run(Library::XkBlas(XkVariant::Full), &topo, Routine::Gemm, 512, false)
+                .unwrap();
+        assert_eq!(tile, 512);
+    }
+}

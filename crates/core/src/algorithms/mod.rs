@@ -1,0 +1,310 @@
+//! Tiled BLAS-3 algorithms.
+//!
+//! Each routine decomposes LAPACK-layout matrices into square tiles and
+//! emits one task per tile kernel into the context's graph. The numerical
+//! algorithms follow the asynchronous tile algorithms of PLASMA/Chameleon,
+//! with the XKBlas differences of §III: sub-matrix (LAPACK) representation
+//! instead of tile copies, and no implicit copy-back instructions.
+
+mod gemm;
+mod symm;
+mod syr2k;
+mod syrk;
+mod trmm;
+mod trsm;
+
+pub use gemm::gemm_async;
+pub use symm::symm_async;
+pub use syr2k::syr2k_async;
+pub use syrk::syrk_async;
+pub use trmm::trmm_async;
+pub use trsm::trsm_async;
+
+use xk_kernels::perfmodel::TileOp;
+use xk_kernels::{Diag, Scalar, Side, Trans, Uplo};
+use xk_runtime::{Access, TaskAccess};
+
+use crate::ctx::Context;
+use crate::matrix::Matrix;
+
+/// A tile coordinate within a matrix.
+pub(crate) type TileAt<'m, T> = (&'m Matrix<T>, usize, usize);
+
+/// Resolves the view geometry of one tile: `(row0, col0, rows, cols)`.
+fn geom<T: Scalar>(ctx: &Context<T>, t: TileAt<'_, T>) -> (usize, usize, usize, usize) {
+    let map = ctx.tile_map(t.0);
+    let (i0, j0) = map.origin(t.1, t.2);
+    (i0, j0, map.tile_rows(t.1), map.tile_cols(t.2))
+}
+
+/// Emits `C_tile = alpha * op(A_tile) * op(B_tile) + beta * C_tile`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn t_gemm<T: Scalar>(
+    ctx: &mut Context<T>,
+    ta: Trans,
+    tb: Trans,
+    alpha: T,
+    a: TileAt<'_, T>,
+    b: TileAt<'_, T>,
+    beta: T,
+    c: TileAt<'_, T>,
+) {
+    let (ai0, aj0, am, an) = geom(ctx, a);
+    let (bi0, bj0, bm, bn) = geom(ctx, b);
+    let (ci0, cj0, m, n) = geom(ctx, c);
+    let (oam, oan) = ta.apply_dims(am, an);
+    let (obm, obn) = tb.apply_dims(bm, bn);
+    assert_eq!(oam, m, "gemm tile: op(A) rows mismatch");
+    assert_eq!(obn, n, "gemm tile: op(B) cols mismatch");
+    assert_eq!(oan, obm, "gemm tile: inner dims mismatch");
+    let k = oan;
+
+    let ha = ctx.handle(a.0, a.1, a.2);
+    let hb = ctx.handle(b.0, b.1, b.2);
+    let hc = ctx.handle(c.0, c.1, c.2);
+    let mut accesses = vec![
+        TaskAccess { handle: ha, access: Access::Read },
+        TaskAccess { handle: hb, access: Access::Read },
+    ];
+    if hb == ha {
+        accesses.pop(); // same tile read twice (e.g. SYRK's A(i,l) pair)
+    }
+    accesses.push(TaskAccess { handle: hc, access: Access::ReadWrite });
+
+    let (ma, mb_, mc) = (a.0.clone(), b.0.clone(), c.0.clone());
+    let label = format!("gemm C({},{})", c.1, c.2);
+    ctx.emit(
+        TileOp::Gemm { m, n, k },
+        accesses,
+        label,
+        Box::new(move || {
+            xk_kernels::gemm(
+                ta,
+                tb,
+                alpha,
+                ma.tile_view(ai0, aj0, am, an),
+                mb_.tile_view(bi0, bj0, bm, bn),
+                beta,
+                mc.tile_view_mut(ci0, cj0, m, n),
+            );
+        }),
+    );
+}
+
+/// Emits `C_tile = alpha * A_sym_tile * B_tile + beta * C_tile` for a
+/// *diagonal* tile of the symmetric matrix.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn t_symm<T: Scalar>(
+    ctx: &mut Context<T>,
+    side: Side,
+    uplo: Uplo,
+    alpha: T,
+    a: TileAt<'_, T>,
+    b: TileAt<'_, T>,
+    beta: T,
+    c: TileAt<'_, T>,
+) {
+    let (ai0, aj0, am, an) = geom(ctx, a);
+    let (bi0, bj0, bm, bn) = geom(ctx, b);
+    let (ci0, cj0, m, n) = geom(ctx, c);
+    assert_eq!(am, an, "symm tile: diagonal block must be square");
+    let ha = ctx.handle(a.0, a.1, a.2);
+    let hb = ctx.handle(b.0, b.1, b.2);
+    let hc = ctx.handle(c.0, c.1, c.2);
+    let accesses = vec![
+        TaskAccess { handle: ha, access: Access::Read },
+        TaskAccess { handle: hb, access: Access::Read },
+        TaskAccess { handle: hc, access: Access::ReadWrite },
+    ];
+    let (ma, mb_, mc) = (a.0.clone(), b.0.clone(), c.0.clone());
+    let label = format!("symm C({},{})", c.1, c.2);
+    ctx.emit(
+        TileOp::Symm { m, n },
+        accesses,
+        label,
+        Box::new(move || {
+            xk_kernels::symm(
+                side,
+                uplo,
+                alpha,
+                ma.tile_view(ai0, aj0, am, an),
+                mb_.tile_view(bi0, bj0, bm, bn),
+                beta,
+                mc.tile_view_mut(ci0, cj0, m, n),
+            );
+        }),
+    );
+}
+
+/// Emits a SYRK update of a diagonal tile of C.
+pub(crate) fn t_syrk<T: Scalar>(
+    ctx: &mut Context<T>,
+    uplo: Uplo,
+    trans: Trans,
+    alpha: T,
+    a: TileAt<'_, T>,
+    beta: T,
+    c: TileAt<'_, T>,
+) {
+    let (ai0, aj0, am, an) = geom(ctx, a);
+    let (ci0, cj0, m, n) = geom(ctx, c);
+    assert_eq!(m, n, "syrk tile: C diagonal block must be square");
+    let k = match trans {
+        Trans::No => an,
+        Trans::Yes => am,
+    };
+    let ha = ctx.handle(a.0, a.1, a.2);
+    let hc = ctx.handle(c.0, c.1, c.2);
+    let accesses = vec![
+        TaskAccess { handle: ha, access: Access::Read },
+        TaskAccess { handle: hc, access: Access::ReadWrite },
+    ];
+    let (ma, mc) = (a.0.clone(), c.0.clone());
+    let label = format!("syrk C({},{})", c.1, c.2);
+    ctx.emit(
+        TileOp::Syrk { n, k },
+        accesses,
+        label,
+        Box::new(move || {
+            xk_kernels::syrk(
+                uplo,
+                trans,
+                alpha,
+                ma.tile_view(ai0, aj0, am, an),
+                beta,
+                mc.tile_view_mut(ci0, cj0, m, n),
+            );
+        }),
+    );
+}
+
+/// Emits a SYR2K update of a diagonal tile of C.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn t_syr2k<T: Scalar>(
+    ctx: &mut Context<T>,
+    uplo: Uplo,
+    trans: Trans,
+    alpha: T,
+    a: TileAt<'_, T>,
+    b: TileAt<'_, T>,
+    beta: T,
+    c: TileAt<'_, T>,
+) {
+    let (ai0, aj0, am, an) = geom(ctx, a);
+    let (bi0, bj0, bm, bn) = geom(ctx, b);
+    let (ci0, cj0, m, n) = geom(ctx, c);
+    assert_eq!(m, n);
+    assert_eq!((am, an), (bm, bn), "syr2k tile: A and B blocks must agree");
+    let k = match trans {
+        Trans::No => an,
+        Trans::Yes => am,
+    };
+    let ha = ctx.handle(a.0, a.1, a.2);
+    let hb = ctx.handle(b.0, b.1, b.2);
+    let hc = ctx.handle(c.0, c.1, c.2);
+    let accesses = vec![
+        TaskAccess { handle: ha, access: Access::Read },
+        TaskAccess { handle: hb, access: Access::Read },
+        TaskAccess { handle: hc, access: Access::ReadWrite },
+    ];
+    let (ma, mb_, mc) = (a.0.clone(), b.0.clone(), c.0.clone());
+    let label = format!("syr2k C({},{})", c.1, c.2);
+    ctx.emit(
+        TileOp::Syr2k { n, k },
+        accesses,
+        label,
+        Box::new(move || {
+            xk_kernels::syr2k(
+                uplo,
+                trans,
+                alpha,
+                ma.tile_view(ai0, aj0, am, an),
+                mb_.tile_view(bi0, bj0, bm, bn),
+                beta,
+                mc.tile_view_mut(ci0, cj0, m, n),
+            );
+        }),
+    );
+}
+
+/// Emits an in-place triangular multiply of a B tile by a diagonal A tile.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn t_trmm<T: Scalar>(
+    ctx: &mut Context<T>,
+    side: Side,
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    alpha: T,
+    a: TileAt<'_, T>,
+    b: TileAt<'_, T>,
+) {
+    let (ai0, aj0, am, an) = geom(ctx, a);
+    let (bi0, bj0, m, n) = geom(ctx, b);
+    assert_eq!(am, an, "trmm tile: diagonal block must be square");
+    let ha = ctx.handle(a.0, a.1, a.2);
+    let hb = ctx.handle(b.0, b.1, b.2);
+    let accesses = vec![
+        TaskAccess { handle: ha, access: Access::Read },
+        TaskAccess { handle: hb, access: Access::ReadWrite },
+    ];
+    let (ma, mb_) = (a.0.clone(), b.0.clone());
+    let label = format!("trmm B({},{})", b.1, b.2);
+    ctx.emit(
+        TileOp::Trmm { m, n },
+        accesses,
+        label,
+        Box::new(move || {
+            xk_kernels::trmm(
+                side,
+                uplo,
+                trans,
+                diag,
+                alpha,
+                ma.tile_view(ai0, aj0, am, an),
+                mb_.tile_view_mut(bi0, bj0, m, n),
+            );
+        }),
+    );
+}
+
+/// Emits an in-place triangular solve of a B tile against a diagonal A tile.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn t_trsm<T: Scalar>(
+    ctx: &mut Context<T>,
+    side: Side,
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    alpha: T,
+    a: TileAt<'_, T>,
+    b: TileAt<'_, T>,
+) {
+    let (ai0, aj0, am, an) = geom(ctx, a);
+    let (bi0, bj0, m, n) = geom(ctx, b);
+    assert_eq!(am, an, "trsm tile: diagonal block must be square");
+    let ha = ctx.handle(a.0, a.1, a.2);
+    let hb = ctx.handle(b.0, b.1, b.2);
+    let accesses = vec![
+        TaskAccess { handle: ha, access: Access::Read },
+        TaskAccess { handle: hb, access: Access::ReadWrite },
+    ];
+    let (ma, mb_) = (a.0.clone(), b.0.clone());
+    let label = format!("trsm B({},{})", b.1, b.2);
+    ctx.emit(
+        TileOp::Trsm { m, n },
+        accesses,
+        label,
+        Box::new(move || {
+            xk_kernels::trsm(
+                side,
+                uplo,
+                trans,
+                diag,
+                alpha,
+                ma.tile_view(ai0, aj0, am, an),
+                mb_.tile_view_mut(bi0, bj0, m, n),
+            );
+        }),
+    );
+}

@@ -1,0 +1,79 @@
+//! Tiled SYR2K:
+//! `C = alpha * (op(A) op(B)^T + op(B) op(A)^T) + beta * C`, `C` symmetric.
+
+use xk_kernels::{Scalar, Trans, Uplo};
+
+use super::{t_gemm, t_syr2k};
+use crate::ctx::Context;
+use crate::matrix::Matrix;
+
+/// Asynchronous tiled SYR2K.
+///
+/// Diagonal tiles get SYR2K kernels; each off-diagonal tile of the stored
+/// triangle gets the two GEMM halves of the rank-2k update.
+///
+/// # Panics
+/// Panics on inconsistent dimensions or non-square `C`.
+#[allow(clippy::too_many_arguments)]
+pub fn syr2k_async<T: Scalar>(
+    ctx: &mut Context<T>,
+    uplo: Uplo,
+    trans: Trans,
+    alpha: T,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    beta: T,
+    c: &Matrix<T>,
+) {
+    let n = c.nrows();
+    assert_eq!(c.ncols(), n, "C must be square");
+    assert_eq!(a.nrows(), b.nrows());
+    assert_eq!(a.ncols(), b.ncols());
+    match trans {
+        Trans::No => assert_eq!(a.nrows(), n),
+        Trans::Yes => assert_eq!(a.ncols(), n),
+    }
+
+    let cmap = ctx.tile_map(c);
+    let amap = ctx.tile_map(a);
+    let kt = match trans {
+        Trans::No => amap.nt,
+        Trans::Yes => amap.mt,
+    };
+
+    for j in 0..cmap.nt {
+        for i in 0..cmap.mt {
+            let in_triangle = match uplo {
+                Uplo::Lower => i >= j,
+                Uplo::Upper => i <= j,
+            };
+            if !in_triangle {
+                continue;
+            }
+            for l in 0..kt {
+                let beta_l = if l == 0 { beta } else { T::ONE };
+                if i == j {
+                    let (at, bt) = match trans {
+                        Trans::No => ((a, i, l), (b, i, l)),
+                        Trans::Yes => ((a, l, i), (b, l, i)),
+                    };
+                    t_syr2k(ctx, uplo, trans, alpha, at, bt, beta_l, (c, i, i));
+                } else {
+                    // C(i,j) += alpha * opA(i,l) opB(j,l)^T
+                    //         + alpha * opB(i,l) opA(j,l)^T
+                    match trans {
+                        Trans::No => {
+                            t_gemm(ctx, Trans::No, Trans::Yes, alpha, (a, i, l), (b, j, l), beta_l, (c, i, j));
+                            t_gemm(ctx, Trans::No, Trans::Yes, alpha, (b, i, l), (a, j, l), T::ONE, (c, i, j));
+                        }
+                        Trans::Yes => {
+                            t_gemm(ctx, Trans::Yes, Trans::No, alpha, (a, l, i), (b, l, j), beta_l, (c, i, j));
+                            t_gemm(ctx, Trans::Yes, Trans::No, alpha, (b, l, i), (a, l, j), T::ONE, (c, i, j));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ctx.bump_calls();
+}

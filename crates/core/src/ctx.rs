@@ -1,0 +1,322 @@
+//! The XKBlas context: asynchronous call composition over one task graph.
+//!
+//! Every `*_async` routine appends tasks to the context's graph; nothing
+//! executes until [`Context::run_numeric`] (real multicore execution) or
+//! [`Context::run_simulated`] (DGX-1 model) — mirroring XKBlas' extended
+//! LAPACK API with asynchronous semantics. Successive calls compose: a
+//! routine reading tiles written by a previous one picks up point-to-point
+//! dependencies instead of a barrier (paper §IV-F).
+
+use std::collections::{HashMap, HashSet};
+use std::marker::PhantomData;
+
+use xk_kernels::perfmodel::TileOp;
+use xk_kernels::Scalar;
+use xk_runtime::task::TaskBody;
+use xk_runtime::{
+    run_parallel, simulate, DataInfo, HandleId, ParOutcome, RuntimeConfig, SimOutcome, TaskAccess,
+    TaskGraph,
+};
+use xk_topo::{Device, Topology};
+
+use crate::matrix::{block_cyclic_owner, Matrix, TileMap};
+
+/// Where a matrix's tiles start out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Placement {
+    /// Valid in host memory (data-on-host methodology).
+    Host,
+    /// Distributed 2D block-cyclic over the GPUs (data-on-device).
+    BlockCyclic,
+}
+
+/// The asynchronous BLAS context.
+pub struct Context<T: Scalar> {
+    topo: Topology,
+    cfg: RuntimeConfig,
+    tile: usize,
+    grid: (usize, usize),
+    graph: TaskGraph,
+    handles: HashMap<(u64, usize, usize), HandleId>,
+    placements: HashMap<u64, Placement>,
+    registered_mats: HashSet<u64>,
+    calls: usize,
+    sim_only: bool,
+    tile_layout: bool,
+    _scalar: PhantomData<T>,
+}
+
+impl<T: Scalar> Context<T> {
+    /// Creates a context for `topo` under `cfg`, decomposing matrices into
+    /// square tiles of side `tile`.
+    ///
+    /// The owner grid defaults to `(n_gpus/2, 2)` — the paper's `(4, 2)`
+    /// grid on 8 GPUs.
+    pub fn new(topo: Topology, cfg: RuntimeConfig, tile: usize) -> Self {
+        assert!(tile > 0);
+        let p = (topo.n_gpus() / 2).max(1);
+        let q = if topo.n_gpus() >= 2 { 2 } else { 1 };
+        Context {
+            topo,
+            cfg,
+            tile,
+            grid: (p, q),
+            graph: TaskGraph::new(),
+            handles: HashMap::new(),
+            placements: HashMap::new(),
+            registered_mats: HashSet::new(),
+            calls: 0,
+            sim_only: false,
+            tile_layout: false,
+            _scalar: PhantomData,
+        }
+    }
+
+    /// Tile side used by the tiled algorithms.
+    pub fn tile_size(&self) -> usize {
+        self.tile
+    }
+
+    /// Switches the context to *simulation-only* mode: `*_async` calls
+    /// record tasks with timing shapes but drop the numeric bodies, so
+    /// [`Matrix::phantom`] operands work and nothing touches real memory.
+    /// `run_numeric` on such a graph is a dependency-ordered no-op.
+    pub fn set_simulation_only(&mut self, on: bool) {
+        self.sim_only = on;
+    }
+
+    /// True when the context drops numeric bodies.
+    pub fn simulation_only(&self) -> bool {
+        self.sim_only
+    }
+
+    /// Pretends matrices are stored in *tile layout* (contiguous tiles, as
+    /// Chameleon/PLASMA allocate them): host transfers stop paying the
+    /// pitched `cudaMemcpy2D` penalty. Used by the baseline models; XKBlas
+    /// itself always uses the LAPACK layout (§III).
+    pub fn set_tile_layout(&mut self, on: bool) {
+        self.tile_layout = on;
+    }
+
+    /// Owner grid `(p, q)`.
+    pub fn grid(&self) -> (usize, usize) {
+        self.grid
+    }
+
+    /// Overrides the owner grid.
+    pub fn set_grid(&mut self, p: usize, q: usize) {
+        assert!(p * q >= 1);
+        self.grid = (p, q);
+    }
+
+    /// The platform topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// The tile partition a matrix gets in this context.
+    pub fn tile_map(&self, mat: &Matrix<T>) -> TileMap {
+        TileMap::new(mat.nrows(), mat.ncols(), self.tile)
+    }
+
+    /// Number of `*_async` routine calls composed so far.
+    pub fn calls(&self) -> usize {
+        self.calls
+    }
+
+    /// Number of tasks currently in the graph.
+    pub fn pending_tasks(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Total kernel flops recorded in the pending graph.
+    pub fn pending_flops(&self) -> f64 {
+        self.graph.total_flops()
+    }
+
+    /// Read-only access to the pending graph (tests, diagnostics).
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
+    pub(crate) fn bump_calls(&mut self) {
+        self.calls += 1;
+    }
+
+    /// Registers (or retrieves) the runtime handle of tile `(i, j)`.
+    pub(crate) fn handle(&mut self, mat: &Matrix<T>, i: usize, j: usize) -> HandleId {
+        let key = (mat.id(), i, j);
+        if let Some(&h) = self.handles.get(&key) {
+            return h;
+        }
+        let map = self.tile_map(mat);
+        let (mb, nb) = (map.tile_rows(i), map.tile_cols(j));
+        let bytes = (mb * nb * T::WORD) as u64;
+        // A tile is pitched on the host whenever its rows don't span the
+        // full leading dimension (cudaMemcpy2D path). Tile-layout libraries
+        // store tiles contiguously instead.
+        let pitched = !self.tile_layout && mb != mat.ld();
+        let owner = block_cyclic_owner(i, j, self.grid.0, self.grid.1) % self.topo.n_gpus();
+        let placement = self
+            .placements
+            .get(&mat.id())
+            .copied()
+            .unwrap_or(Placement::Host);
+        let initial = match placement {
+            Placement::Host => Device::Host,
+            Placement::BlockCyclic => Device::Gpu(owner),
+        };
+        let info = DataInfo {
+            bytes,
+            pitched,
+            initial,
+            label: format!("M{}({i},{j})", mat.id()),
+            owner_hint: Some(owner),
+        };
+        let h = self.graph.add_data(info);
+        self.handles.insert(key, h);
+        self.registered_mats.insert(mat.id());
+        h
+    }
+
+    /// Emits one tile task.
+    pub(crate) fn emit(
+        &mut self,
+        op: TileOp,
+        accesses: Vec<TaskAccess>,
+        label: String,
+        body: TaskBody,
+    ) {
+        if self.sim_only {
+            self.graph.add_task(op, accesses, label);
+        } else {
+            self.graph.add_task_with_body(op, accesses, label, body);
+        }
+    }
+
+    /// `xkblas_distribute_2Dblock_cyclic_async`: marks the matrix as
+    /// initially distributed over the GPUs in 2D block-cyclic order
+    /// (paper §IV-C). Must be called before the matrix is first touched by
+    /// a routine in this graph.
+    ///
+    /// # Panics
+    /// Panics if tiles of the matrix were already registered host-resident.
+    pub fn distribute_2d_block_cyclic_async(&mut self, mat: &Matrix<T>) {
+        assert!(
+            !self.registered_mats.contains(&mat.id()),
+            "distribute must precede the first use of the matrix"
+        );
+        self.placements.insert(mat.id(), Placement::BlockCyclic);
+    }
+
+    /// `xkblas_memory_coherent_async`: enqueues a host-coherency task for
+    /// every registered tile of `mat`. After the sync, host memory holds
+    /// the results (the data-on-host methodology of §IV-A).
+    pub fn memory_coherent_async(&mut self, mat: &Matrix<T>) {
+        // One flush task per tile: each depends only on that tile's last
+        // writer, so write-backs stream out while other tiles still
+        // compute (XKBlas makes memory coherence a per-tile data-flow
+        // task, not a barrier).
+        let map = self.tile_map(mat);
+        for i in 0..map.mt {
+            for j in 0..map.nt {
+                if let Some(&h) = self.handles.get(&(mat.id(), i, j)) {
+                    self.graph
+                        .add_flush(&[h], format!("coherent M{}({i},{j})", mat.id()));
+                }
+            }
+        }
+    }
+
+    /// Executes the composed graph numerically on host threads
+    /// (0 = one per core) and resets the context for the next composition.
+    pub fn run_numeric(&mut self, threads: usize) -> ParOutcome {
+        let mut graph = self.take_graph();
+        run_parallel(&mut graph, threads)
+    }
+
+    /// Executes the composed graph on the simulated platform and resets
+    /// the context.
+    pub fn run_simulated(&mut self) -> SimOutcome {
+        let graph = self.take_graph();
+        simulate(&graph, &self.topo, &self.cfg)
+    }
+
+    /// Executes the composed graph both ways: numerically (for values) and
+    /// simulated (for timing); returns the simulation outcome.
+    pub fn run_both(&mut self, threads: usize) -> SimOutcome {
+        let mut graph = self.take_graph();
+        let sim = simulate(&graph, &self.topo, &self.cfg);
+        run_parallel(&mut graph, threads);
+        sim
+    }
+
+    fn take_graph(&mut self) -> TaskGraph {
+        self.handles.clear();
+        self.placements.clear();
+        self.registered_mats.clear();
+        self.calls = 0;
+        std::mem::take(&mut self.graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xk_topo::dgx1;
+
+    #[test]
+    fn handles_are_cached_per_tile() {
+        let mut ctx = Context::<f64>::new(dgx1(), RuntimeConfig::default(), 4);
+        let a = Matrix::<f64>::zeros(8, 8);
+        let h1 = ctx.handle(&a, 0, 1);
+        let h2 = ctx.handle(&a, 0, 1);
+        let h3 = ctx.handle(&a, 1, 1);
+        assert_eq!(h1, h2);
+        assert_ne!(h1, h3);
+    }
+
+    #[test]
+    fn grid_defaults_to_paper_42() {
+        let ctx = Context::<f64>::new(dgx1(), RuntimeConfig::default(), 4);
+        assert_eq!(ctx.grid(), (4, 2));
+    }
+
+    #[test]
+    fn distribute_before_use_is_enforced() {
+        let mut ctx = Context::<f64>::new(dgx1(), RuntimeConfig::default(), 4);
+        let a = Matrix::<f64>::zeros(8, 8);
+        ctx.distribute_2d_block_cyclic_async(&a);
+        let _ = ctx.handle(&a, 0, 0);
+        // Re-distributing after use must panic.
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ctx.distribute_2d_block_cyclic_async(&a);
+        }));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn coherent_without_registered_tiles_is_noop() {
+        let mut ctx = Context::<f64>::new(dgx1(), RuntimeConfig::default(), 4);
+        let a = Matrix::<f64>::zeros(8, 8);
+        ctx.memory_coherent_async(&a);
+        assert_eq!(ctx.pending_tasks(), 0);
+    }
+
+    #[test]
+    fn run_resets_state() {
+        let mut ctx = Context::<f64>::new(dgx1(), RuntimeConfig::default(), 4);
+        let a = Matrix::<f64>::zeros(8, 8);
+        let _ = ctx.handle(&a, 0, 0);
+        let out = ctx.run_simulated();
+        assert_eq!(out.tasks_run, 0);
+        assert_eq!(ctx.pending_tasks(), 0);
+        // Distribution allowed again after reset.
+        ctx.distribute_2d_block_cyclic_async(&a);
+    }
+}

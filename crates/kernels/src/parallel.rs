@@ -1,0 +1,172 @@
+//! Rayon-parallel whole-matrix operations.
+//!
+//! The task runtime parallelizes *across* tiles, so the tile kernels stay
+//! sequential. These helpers parallelize a single large operation instead —
+//! used by the examples, by tests that need fast reference results, and as
+//! the host-side compute path of the parallel executor.
+
+use rayon::prelude::*;
+
+use crate::gemm::gemm;
+use crate::scalar::Scalar;
+use crate::types::Trans;
+use crate::view::{MatMut, MatRef};
+
+/// Copyable wrapper making a raw pointer Send + Sync for disjoint-column
+/// parallelism (each rayon task touches a distinct column range).
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Sync> Sync for SendPtr<T> {}
+
+/// Parallel GEMM: `C = alpha * op(A) * op(B) + beta * C`, parallelized
+/// over column panels of `C` (each panel pairs with a column panel of
+/// `op(B)`, so panels are fully independent).
+pub fn par_gemm<T: Scalar>(
+    trans_a: Trans,
+    trans_b: Trans,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
+) {
+    let (m, n) = (c.nrows(), c.ncols());
+    let panel = 64.max(n / (4 * rayon::current_num_threads().max(1))).min(n.max(1));
+    if n == 0 || m == 0 {
+        return;
+    }
+    let ptr = SendPtr(c.rb_mut().col_mut(0).as_mut_ptr());
+    let ld = c.ld();
+    let n_panels = n.div_ceil(panel);
+    (0..n_panels).into_par_iter().for_each(move |p| {
+        let ptr = ptr; // capture the whole Send wrapper, not its field
+        let j0 = p * panel;
+        let nn = panel.min(n - j0);
+        // SAFETY: panels [j0, j0+nn) are disjoint column ranges of C.
+        let c_panel = unsafe { MatMut::from_raw(ptr.0.add(j0 * ld), m, nn, ld) };
+        let b_panel = match trans_b {
+            Trans::No => b.submatrix(0, j0, b.nrows(), nn),
+            Trans::Yes => b.submatrix(j0, 0, nn, b.ncols()),
+        };
+        gemm(trans_a, trans_b, alpha, a, b_panel, beta, c_panel);
+    });
+}
+
+/// Parallel elementwise fill with a deterministic pseudo-random pattern —
+/// handy for building large reproducible test matrices quickly.
+/// `seed` selects the pattern; values are in `[-0.5, 0.5)`.
+pub fn par_fill_pattern<T: Scalar>(mut a: MatMut<'_, T>, seed: u64) {
+    let (m, ld) = (a.nrows(), a.ld());
+    let n = a.ncols();
+    if m == 0 || n == 0 {
+        return;
+    }
+    let ptr = SendPtr(a.rb_mut().col_mut(0).as_mut_ptr());
+    (0..n).into_par_iter().for_each(move |j| {
+        let ptr = ptr; // capture the whole Send wrapper, not its field
+        // SAFETY: each iteration touches only column j.
+        let col = unsafe { std::slice::from_raw_parts_mut(ptr.0.add(j * ld), m) };
+        for (i, v) in col.iter_mut().enumerate() {
+            *v = T::from_f64(hash01(seed, i as u64, j as u64) - 0.5);
+        }
+    });
+}
+
+/// SplitMix64-style hash to a uniform `[0,1)` value.
+fn hash01(seed: u64, i: u64, j: u64) -> f64 {
+    let mut z = seed
+        .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(j.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aux::max_abs_diff;
+
+    #[test]
+    fn par_gemm_matches_sequential() {
+        let (m, n, k) = (67, 129, 43);
+        let mut a = vec![0.0f64; m * k];
+        let mut b = vec![0.0f64; k * n];
+        par_fill_pattern(MatMut::from_slice(&mut a, m, k, m), 1);
+        par_fill_pattern(MatMut::from_slice(&mut b, k, n, k), 2);
+        let mut c_par = vec![1.0f64; m * n];
+        let mut c_seq = vec![1.0f64; m * n];
+        par_gemm(
+            Trans::No,
+            Trans::No,
+            2.0,
+            MatRef::from_slice(&a, m, k, m),
+            MatRef::from_slice(&b, k, n, k),
+            0.5,
+            MatMut::from_slice(&mut c_par, m, n, m),
+        );
+        gemm(
+            Trans::No,
+            Trans::No,
+            2.0,
+            MatRef::from_slice(&a, m, k, m),
+            MatRef::from_slice(&b, k, n, k),
+            0.5,
+            MatMut::from_slice(&mut c_seq, m, n, m),
+        );
+        let d = max_abs_diff(
+            MatRef::from_slice(&c_par, m, n, m),
+            MatRef::from_slice(&c_seq, m, n, m),
+        );
+        assert!(d < 1e-12, "par/seq diverged by {d}");
+    }
+
+    #[test]
+    fn par_gemm_trans_b_matches_sequential() {
+        let (m, n, k) = (31, 57, 23);
+        let mut a = vec![0.0f64; m * k];
+        let mut b = vec![0.0f64; n * k]; // stored n x k for trans_b = Yes
+        par_fill_pattern(MatMut::from_slice(&mut a, m, k, m), 3);
+        par_fill_pattern(MatMut::from_slice(&mut b, n, k, n), 4);
+        let mut c_par = vec![0.0f64; m * n];
+        let mut c_seq = vec![0.0f64; m * n];
+        par_gemm(
+            Trans::No,
+            Trans::Yes,
+            1.0,
+            MatRef::from_slice(&a, m, k, m),
+            MatRef::from_slice(&b, n, k, n),
+            0.0,
+            MatMut::from_slice(&mut c_par, m, n, m),
+        );
+        gemm(
+            Trans::No,
+            Trans::Yes,
+            1.0,
+            MatRef::from_slice(&a, m, k, m),
+            MatRef::from_slice(&b, n, k, n),
+            0.0,
+            MatMut::from_slice(&mut c_seq, m, n, m),
+        );
+        let d = max_abs_diff(
+            MatRef::from_slice(&c_par, m, n, m),
+            MatRef::from_slice(&c_seq, m, n, m),
+        );
+        assert!(d < 1e-12);
+    }
+
+    #[test]
+    fn fill_pattern_is_deterministic_and_seed_sensitive() {
+        let mut x1 = vec![0.0f64; 12];
+        let mut x2 = vec![0.0f64; 12];
+        let mut y = vec![0.0f64; 12];
+        par_fill_pattern(MatMut::from_slice(&mut x1, 3, 4, 3), 7);
+        par_fill_pattern(MatMut::from_slice(&mut x2, 3, 4, 3), 7);
+        par_fill_pattern(MatMut::from_slice(&mut y, 3, 4, 3), 8);
+        assert_eq!(x1, x2);
+        assert_ne!(x1, y);
+        assert!(x1.iter().all(|v| (-0.5..0.5).contains(v)));
+    }
+}

@@ -1,0 +1,130 @@
+//! Floating-point scalar abstraction.
+//!
+//! The BLAS layer is generic over [`Scalar`] so that the same tiled
+//! algorithms serve `f32` and `f64`. The paper's evaluation is FP64; `f32`
+//! comes for free and is exercised by the test-suite.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A real floating-point element type usable by the kernels.
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + Debug
+    + Display
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + Sum
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Size of one element in bytes (drives transfer volumes).
+    const WORD: usize;
+    /// Machine epsilon, used by accuracy checks.
+    const EPSILON: Self;
+
+    /// Lossy conversion from `f64` (exact for representable values).
+    fn from_f64(x: f64) -> Self;
+    /// Widening conversion to `f64`.
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// `max` that propagates the larger value (inputs must not be NaN).
+    fn max(self, other: Self) -> Self;
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const WORD: usize = 8;
+    const EPSILON: Self = f64::EPSILON;
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline]
+    fn max(self, other: Self) -> Self {
+        f64::max(self, other)
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const WORD: usize = 4;
+    const EPSILON: Self = f32::EPSILON;
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline]
+    fn max(self, other: Self) -> Self {
+        f32::max(self, other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Scalar>() {
+        assert_eq!(T::from_f64(2.5).to_f64(), 2.5);
+        assert_eq!(T::ZERO + T::ONE, T::ONE);
+        assert_eq!(T::from_f64(-3.0).abs().to_f64(), 3.0);
+        assert_eq!(T::from_f64(9.0).sqrt().to_f64(), 3.0);
+        assert_eq!(T::from_f64(1.0).max(T::from_f64(2.0)).to_f64(), 2.0);
+    }
+
+    #[test]
+    fn f64_impl() {
+        roundtrip::<f64>();
+        assert_eq!(f64::WORD, 8);
+    }
+
+    #[test]
+    fn f32_impl() {
+        roundtrip::<f32>();
+        assert_eq!(f32::WORD, 4);
+    }
+}

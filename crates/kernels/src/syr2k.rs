@@ -1,0 +1,158 @@
+//! Symmetric rank-2k update:
+//! `C = alpha * (op(A) * op(B)^T + op(B) * op(A)^T) + beta * C`,
+//! updating only the `uplo` triangle of `C`.
+
+use crate::scalar::Scalar;
+use crate::syrk::scale_triangle;
+use crate::types::{Trans, Uplo};
+use crate::view::{MatMut, MatRef};
+
+/// Sequential tile SYR2K.
+///
+/// With `trans == No`, `A` and `B` are `n × k`; with `trans == Yes` they
+/// are `k × n` and the update is `A^T B + B^T A`.
+///
+/// # Panics
+/// Panics on inconsistent dimensions or non-square `C`.
+pub fn syr2k<T: Scalar>(
+    uplo: Uplo,
+    trans: Trans,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
+) {
+    let n = c.nrows();
+    assert_eq!(c.ncols(), n, "C must be square");
+    let k = match trans {
+        Trans::No => {
+            assert_eq!(a.nrows(), n);
+            assert_eq!(b.nrows(), n);
+            assert_eq!(a.ncols(), b.ncols());
+            a.ncols()
+        }
+        Trans::Yes => {
+            assert_eq!(a.ncols(), n);
+            assert_eq!(b.ncols(), n);
+            assert_eq!(a.nrows(), b.nrows());
+            a.nrows()
+        }
+    };
+
+    scale_triangle(beta, uplo, c.rb_mut());
+    if alpha == T::ZERO || k == 0 {
+        return;
+    }
+
+    let op = |m: &MatRef<'_, T>, i: usize, l: usize| -> T {
+        match trans {
+            Trans::No => m.at(i, l),
+            Trans::Yes => m.at(l, i),
+        }
+    };
+
+    for j in 0..n {
+        let (lo, hi) = match uplo {
+            Uplo::Lower => (j, n),
+            Uplo::Upper => (0, j + 1),
+        };
+        for i in lo..hi {
+            let mut acc = T::ZERO;
+            for l in 0..k {
+                acc += op(&a, i, l) * op(&b, j, l) + op(&b, i, l) * op(&a, j, l);
+            }
+            c.update(i, j, |v| v + alpha * acc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank2_lower_manual() {
+        // A = [1; 0], B = [0; 1] (2x1 each).
+        // A B^T + B A^T = [0 1; 1 0].
+        let a = vec![1.0, 0.0];
+        let b = vec![0.0, 1.0];
+        let mut c = vec![0.0; 4];
+        syr2k(
+            Uplo::Lower,
+            Trans::No,
+            1.0,
+            MatRef::from_slice(&a, 2, 1, 2),
+            MatRef::from_slice(&b, 2, 1, 2),
+            0.0,
+            MatMut::from_slice(&mut c, 2, 2, 2),
+        );
+        assert_eq!(c[0], 0.0);
+        assert_eq!(c[1], 1.0); // (1,0)
+        assert_eq!(c[3], 0.0);
+    }
+
+    #[test]
+    fn symmetric_in_exact_arithmetic() {
+        // With A == B, syr2k == 2 * syrk.
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 3x2
+        let mut c2k = vec![0.0; 9];
+        syr2k(
+            Uplo::Lower,
+            Trans::No,
+            1.0,
+            MatRef::from_slice(&a, 3, 2, 3),
+            MatRef::from_slice(&a, 3, 2, 3),
+            0.0,
+            MatMut::from_slice(&mut c2k, 3, 3, 3),
+        );
+        let mut ck = vec![0.0; 9];
+        crate::syrk::syrk(
+            Uplo::Lower,
+            Trans::No,
+            2.0,
+            MatRef::from_slice(&a, 3, 2, 3),
+            0.0,
+            MatMut::from_slice(&mut ck, 3, 3, 3),
+        );
+        for (x, y) in c2k.iter().zip(&ck) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trans_variant_matches_manual() {
+        // trans=Yes, A = B = [1 2] (1x2): C = 2 * A^T A = [2 4; 4 8].
+        let a = vec![1.0, 2.0];
+        let mut c = vec![0.0; 4];
+        syr2k(
+            Uplo::Upper,
+            Trans::Yes,
+            1.0,
+            MatRef::from_slice(&a, 1, 2, 1),
+            MatRef::from_slice(&a, 1, 2, 1),
+            0.0,
+            MatMut::from_slice(&mut c, 2, 2, 2),
+        );
+        assert_eq!(c[0], 2.0);
+        assert_eq!(c[2], 4.0);
+        assert_eq!(c[3], 8.0);
+        assert_eq!(c[1], 0.0);
+    }
+
+    #[test]
+    fn untouched_triangle_preserved() {
+        let a = vec![1.0, 1.0];
+        let mut c = vec![7.0; 4];
+        syr2k(
+            Uplo::Upper,
+            Trans::No,
+            1.0,
+            MatRef::from_slice(&a, 2, 1, 2),
+            MatRef::from_slice(&a, 2, 1, 2),
+            0.0,
+            MatMut::from_slice(&mut c, 2, 2, 2),
+        );
+        assert_eq!(c[1], 7.0, "strict lower must be untouched for Upper");
+    }
+}

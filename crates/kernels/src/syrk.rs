@@ -1,0 +1,159 @@
+//! Symmetric rank-k update:
+//! `C = alpha * op(A) * op(A)^T + beta * C`, updating only the `uplo`
+//! triangle of the symmetric `n × n` matrix `C`.
+
+use crate::scalar::Scalar;
+use crate::types::{Trans, Uplo};
+use crate::view::{MatMut, MatRef};
+
+/// Sequential tile SYRK.
+///
+/// With `trans == No`, `A` is `n × k`; with `trans == Yes`, `A` is `k × n`
+/// and `op(A) = A^T`. Only the `uplo` triangle of `C` is referenced and
+/// updated.
+///
+/// # Panics
+/// Panics on inconsistent dimensions or non-square `C`.
+pub fn syrk<T: Scalar>(
+    uplo: Uplo,
+    trans: Trans,
+    alpha: T,
+    a: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
+) {
+    let n = c.nrows();
+    assert_eq!(c.ncols(), n, "C must be square");
+    let k = match trans {
+        Trans::No => {
+            assert_eq!(a.nrows(), n, "A rows must equal C order");
+            a.ncols()
+        }
+        Trans::Yes => {
+            assert_eq!(a.ncols(), n, "A cols must equal C order");
+            a.nrows()
+        }
+    };
+
+    // Scale only the stored triangle.
+    scale_triangle(beta, uplo, c.rb_mut());
+    if alpha == T::ZERO || k == 0 {
+        return;
+    }
+
+    let op_a = |i: usize, l: usize| -> T {
+        match trans {
+            Trans::No => a.at(i, l),
+            Trans::Yes => a.at(l, i),
+        }
+    };
+
+    for j in 0..n {
+        let (lo, hi) = match uplo {
+            Uplo::Lower => (j, n),
+            Uplo::Upper => (0, j + 1),
+        };
+        for i in lo..hi {
+            let mut acc = T::ZERO;
+            for l in 0..k {
+                acc += op_a(i, l) * op_a(j, l);
+            }
+            c.update(i, j, |v| v + alpha * acc);
+        }
+    }
+}
+
+/// Scales only the `uplo` triangle of `C` by `beta` (writing zeros when
+/// `beta == 0`).
+pub fn scale_triangle<T: Scalar>(beta: T, uplo: Uplo, mut c: MatMut<'_, T>) {
+    if beta == T::ONE {
+        return;
+    }
+    let n = c.nrows();
+    for j in 0..n {
+        let (lo, hi) = match uplo {
+            Uplo::Lower => (j, n),
+            Uplo::Upper => (0, j + 1),
+        };
+        for i in lo..hi {
+            if beta == T::ZERO {
+                c.set(i, j, T::ZERO);
+            } else {
+                c.update(i, j, |v| v * beta);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank1_lower() {
+        // A = [1; 2] (2x1). A*A^T = [1 2; 2 4]; lower triangle stored.
+        let a = vec![1.0, 2.0];
+        let mut c = vec![0.0; 4];
+        syrk(
+            Uplo::Lower,
+            Trans::No,
+            1.0,
+            MatRef::from_slice(&a, 2, 1, 2),
+            0.0,
+            MatMut::from_slice(&mut c, 2, 2, 2),
+        );
+        assert_eq!(c[0], 1.0); // (0,0)
+        assert_eq!(c[1], 2.0); // (1,0)
+        assert_eq!(c[3], 4.0); // (1,1)
+        assert_eq!(c[2], 0.0); // upper part untouched (was 0)
+    }
+
+    #[test]
+    fn upper_part_not_touched() {
+        let a = vec![1.0, 2.0];
+        let mut c = vec![9.0; 4];
+        syrk(
+            Uplo::Lower,
+            Trans::No,
+            1.0,
+            MatRef::from_slice(&a, 2, 1, 2),
+            0.0,
+            MatMut::from_slice(&mut c, 2, 2, 2),
+        );
+        assert_eq!(c[2], 9.0, "strict upper triangle must be untouched");
+    }
+
+    #[test]
+    fn trans_yes_equals_atta() {
+        // trans=Yes with A (1x2) = [1 2]: C = A^T A = [1 2; 2 4].
+        let a = vec![1.0, 2.0];
+        let mut c = vec![0.0; 4];
+        syrk(
+            Uplo::Upper,
+            Trans::Yes,
+            1.0,
+            MatRef::from_slice(&a, 1, 2, 1),
+            0.0,
+            MatMut::from_slice(&mut c, 2, 2, 2),
+        );
+        assert_eq!(c[0], 1.0);
+        assert_eq!(c[2], 2.0); // (0,1)
+        assert_eq!(c[3], 4.0);
+        assert_eq!(c[1], 0.0); // strict lower untouched
+    }
+
+    #[test]
+    fn beta_only_scales_triangle() {
+        let a: Vec<f64> = vec![];
+        let mut c = vec![1.0; 4];
+        syrk(
+            Uplo::Lower,
+            Trans::No,
+            1.0,
+            MatRef::from_slice(&a, 2, 0, 2),
+            2.0,
+            MatMut::from_slice(&mut c, 2, 2, 2),
+        );
+        assert_eq!(c, vec![2.0, 2.0, 1.0, 2.0]);
+    }
+}

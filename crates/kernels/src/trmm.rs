@@ -1,0 +1,196 @@
+//! Triangular matrix-matrix multiply (in place):
+//! `B = alpha * op(A) * B` (left) or `B = alpha * B * op(A)` (right),
+//! with `A` triangular.
+
+use crate::helpers::tri_at;
+use crate::scalar::Scalar;
+use crate::types::{Diag, Side, Trans, Uplo};
+use crate::view::{MatMut, MatRef};
+
+/// Sequential tile TRMM, updating `B` in place.
+///
+/// `A` is `m × m` (left) or `n × n` (right) with only its `uplo` triangle
+/// referenced; `diag == Unit` treats the diagonal as ones.
+///
+/// # Panics
+/// Panics on inconsistent dimensions.
+pub fn trmm<T: Scalar>(
+    side: Side,
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    alpha: T,
+    a: MatRef<'_, T>,
+    mut b: MatMut<'_, T>,
+) {
+    let (m, n) = (b.nrows(), b.ncols());
+    match side {
+        Side::Left => {
+            assert_eq!(a.nrows(), m, "A must be m x m for Side::Left");
+            assert_eq!(a.ncols(), m);
+        }
+        Side::Right => {
+            assert_eq!(a.nrows(), n, "A must be n x n for Side::Right");
+            assert_eq!(a.ncols(), n);
+        }
+    }
+    if alpha == T::ZERO {
+        b.fill(T::ZERO);
+        return;
+    }
+
+    // op(A)(i, l): a triangular read honoring trans/uplo/diag.
+    let op_a = |i: usize, l: usize| -> T {
+        match trans {
+            Trans::No => tri_at(&a, uplo, diag, i, l),
+            Trans::Yes => tri_at(&a, uplo, diag, l, i),
+        }
+    };
+
+    match side {
+        Side::Left => {
+            // newB(:,j) = alpha * op(A) * oldB(:,j); use a column scratch so
+            // every read sees the old values regardless of traversal order.
+            let mut scratch = vec![T::ZERO; m];
+            for j in 0..n {
+                scratch.copy_from_slice(b.col_mut(j));
+                for i in 0..m {
+                    let mut acc = T::ZERO;
+                    for (l, &s) in scratch.iter().enumerate() {
+                        let v = op_a(i, l);
+                        if v != T::ZERO {
+                            acc += v * s;
+                        }
+                    }
+                    b.set(i, j, alpha * acc);
+                }
+            }
+        }
+        Side::Right => {
+            // newB(i,:) = alpha * oldB(i,:) * op(A); row scratch.
+            let mut scratch = vec![T::ZERO; n];
+            for i in 0..m {
+                for (l, s) in scratch.iter_mut().enumerate() {
+                    *s = b.at(i, l);
+                }
+                for j in 0..n {
+                    let mut acc = T::ZERO;
+                    for (l, &s) in scratch.iter().enumerate() {
+                        let v = op_a(l, j);
+                        if v != T::ZERO {
+                            acc += s * v;
+                        }
+                    }
+                    b.set(i, j, alpha * acc);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn left_lower_manual() {
+        // A = [1 0; 2 3] lower (col-major [1,2,*,3]); B = [1; 1].
+        // A*B = [1; 5].
+        let a = vec![1.0, 2.0, -9.0, 3.0];
+        let mut b = vec![1.0, 1.0];
+        trmm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::No,
+            Diag::NonUnit,
+            1.0,
+            MatRef::from_slice(&a, 2, 2, 2),
+            MatMut::from_slice(&mut b, 2, 1, 2),
+        );
+        assert_eq!(b, vec![1.0, 5.0]);
+    }
+
+    #[test]
+    fn unit_diag_ignores_stored_diagonal() {
+        // Same A but unit diagonal: effective A = [1 0; 2 1]; A*B = [1; 3].
+        let a = vec![42.0, 2.0, -9.0, 42.0];
+        let mut b = vec![1.0, 1.0];
+        trmm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::No,
+            Diag::Unit,
+            1.0,
+            MatRef::from_slice(&a, 2, 2, 2),
+            MatMut::from_slice(&mut b, 2, 1, 2),
+        );
+        assert_eq!(b, vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn left_trans_equals_upper_of_transpose() {
+        // (lower A)^T is upper; A = [1 0; 2 3], A^T = [1 2; 0 3], A^T*[1;1] = [3;3].
+        let a = vec![1.0, 2.0, -9.0, 3.0];
+        let mut b = vec![1.0, 1.0];
+        trmm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::Yes,
+            Diag::NonUnit,
+            1.0,
+            MatRef::from_slice(&a, 2, 2, 2),
+            MatMut::from_slice(&mut b, 2, 1, 2),
+        );
+        assert_eq!(b, vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn right_side_manual() {
+        // B = [1 1] (1x2), A upper = [1 2; 0 3] ([1,*,2,3]).
+        // B*A = [1, 5].
+        let a = vec![1.0, -9.0, 2.0, 3.0];
+        let mut b = vec![1.0, 1.0];
+        trmm(
+            Side::Right,
+            Uplo::Upper,
+            Trans::No,
+            Diag::NonUnit,
+            1.0,
+            MatRef::from_slice(&a, 2, 2, 2),
+            MatMut::from_slice(&mut b, 1, 2, 1),
+        );
+        assert_eq!(b, vec![1.0, 5.0]);
+    }
+
+    #[test]
+    fn alpha_zero_clears() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let mut b = vec![5.0, 5.0];
+        trmm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::No,
+            Diag::NonUnit,
+            0.0,
+            MatRef::from_slice(&a, 2, 2, 2),
+            MatMut::from_slice(&mut b, 2, 1, 2),
+        );
+        assert_eq!(b, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn alpha_scales() {
+        let a = vec![1.0, 0.0, 0.0, 1.0]; // identity
+        let mut b = vec![3.0, 4.0];
+        trmm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::No,
+            Diag::NonUnit,
+            2.0,
+            MatRef::from_slice(&a, 2, 2, 2),
+            MatMut::from_slice(&mut b, 2, 1, 2),
+        );
+        assert_eq!(b, vec![6.0, 8.0]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Triangular solve with multiple right-hand sides (in place):
+//! `B = alpha * inv(op(A)) * B` (left) or `B = alpha * B * inv(op(A))`
+//! (right), with `A` triangular.
+
+use crate::helpers::tri_at;
+use crate::scalar::Scalar;
+use crate::types::{Diag, Side, Trans, Uplo};
+use crate::view::{MatMut, MatRef};
+
+/// Sequential tile TRSM, updating `B` in place.
+///
+/// Solves `op(A) * X = alpha * B` (left) or `X * op(A) = alpha * B` (right)
+/// and stores `X` in `B`.
+///
+/// # Panics
+/// Panics on inconsistent dimensions. Dividing by an (exactly) zero diagonal
+/// produces infinities, like BLAS.
+pub fn trsm<T: Scalar>(
+    side: Side,
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    alpha: T,
+    a: MatRef<'_, T>,
+    mut b: MatMut<'_, T>,
+) {
+    let (m, n) = (b.nrows(), b.ncols());
+    match side {
+        Side::Left => {
+            assert_eq!(a.nrows(), m, "A must be m x m for Side::Left");
+            assert_eq!(a.ncols(), m);
+        }
+        Side::Right => {
+            assert_eq!(a.nrows(), n, "A must be n x n for Side::Right");
+            assert_eq!(a.ncols(), n);
+        }
+    }
+    if alpha == T::ZERO {
+        b.fill(T::ZERO);
+        return;
+    }
+
+    // Effective triangular element of op(A).
+    let op_a = |i: usize, l: usize| -> T {
+        match trans {
+            Trans::No => tri_at(&a, uplo, diag, i, l),
+            Trans::Yes => tri_at(&a, uplo, diag, l, i),
+        }
+    };
+    // Is op(A) lower-triangular? (trans flips the triangle.)
+    let op_lower = match (uplo, trans) {
+        (Uplo::Lower, Trans::No) | (Uplo::Upper, Trans::Yes) => true,
+        (Uplo::Upper, Trans::No) | (Uplo::Lower, Trans::Yes) => false,
+    };
+
+    match side {
+        Side::Left => {
+            // Solve op(A) x = alpha b column by column.
+            for j in 0..n {
+                if op_lower {
+                    // Forward substitution.
+                    for i in 0..m {
+                        let mut acc = alpha * b.at(i, j);
+                        for l in 0..i {
+                            acc -= op_a(i, l) * b.at(l, j);
+                        }
+                        let d = op_a(i, i);
+                        b.set(i, j, if diag == Diag::Unit { acc } else { acc / d });
+                    }
+                } else {
+                    // Backward substitution.
+                    for i in (0..m).rev() {
+                        let mut acc = alpha * b.at(i, j);
+                        for l in i + 1..m {
+                            acc -= op_a(i, l) * b.at(l, j);
+                        }
+                        let d = op_a(i, i);
+                        b.set(i, j, if diag == Diag::Unit { acc } else { acc / d });
+                    }
+                }
+            }
+        }
+        Side::Right => {
+            // Solve x op(A) = alpha b row by row: x_j = (alpha b_j -
+            // sum_{l != j} x_l op(A)(l, j)) / op(A)(j, j), ordered so solved
+            // entries are the only ones referenced.
+            for i in 0..m {
+                if op_lower {
+                    // x B = b with lower op(A): solve j from n-1 down to 0,
+                    // using x_l for l > j.
+                    for j in (0..n).rev() {
+                        let mut acc = alpha * b.at(i, j);
+                        for l in j + 1..n {
+                            acc -= b.at(i, l) * op_a(l, j);
+                        }
+                        let d = op_a(j, j);
+                        b.set(i, j, if diag == Diag::Unit { acc } else { acc / d });
+                    }
+                } else {
+                    for j in 0..n {
+                        let mut acc = alpha * b.at(i, j);
+                        for l in 0..j {
+                            acc -= b.at(i, l) * op_a(l, j);
+                        }
+                        let d = op_a(j, j);
+                        b.set(i, j, if diag == Diag::Unit { acc } else { acc / d });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trmm::trmm;
+
+    #[test]
+    fn left_lower_forward_substitution() {
+        // A = [2 0; 1 4], solve A x = [2; 9] -> x = [1; 2].
+        let a = vec![2.0, 1.0, -9.0, 4.0];
+        let mut b = vec![2.0, 9.0];
+        trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::No,
+            Diag::NonUnit,
+            1.0,
+            MatRef::from_slice(&a, 2, 2, 2),
+            MatMut::from_slice(&mut b, 2, 1, 2),
+        );
+        assert_eq!(b, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn left_upper_backward_substitution() {
+        // A = [2 1; 0 4], solve A x = [4; 8] -> x2 = 2, x1 = (4-2)/2 = 1.
+        let a = vec![2.0, -9.0, 1.0, 4.0];
+        let mut b = vec![4.0, 8.0];
+        trsm(
+            Side::Left,
+            Uplo::Upper,
+            Trans::No,
+            Diag::NonUnit,
+            1.0,
+            MatRef::from_slice(&a, 2, 2, 2),
+            MatMut::from_slice(&mut b, 2, 1, 2),
+        );
+        assert_eq!(b, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn trsm_inverts_trmm_all_variants() {
+        // For every (side, uplo, trans, diag): trsm(trmm(B)) == B.
+        let a = vec![2.0, 0.5, 0.25, 3.0, 1.5, -0.5, 0.75, -0.25, 4.0]; // 3x3 full
+        let b0: Vec<f64> = (1..=9).map(f64::from).collect();
+        for side in [Side::Left, Side::Right] {
+            for uplo in [Uplo::Lower, Uplo::Upper] {
+                for trans in [Trans::No, Trans::Yes] {
+                    for diag in [Diag::NonUnit, Diag::Unit] {
+                        let mut b = b0.clone();
+                        {
+                            let bm = MatMut::from_slice(&mut b, 3, 3, 3);
+                            trmm(side, uplo, trans, diag, 2.0, MatRef::from_slice(&a, 3, 3, 3), bm);
+                        }
+                        {
+                            let bm = MatMut::from_slice(&mut b, 3, 3, 3);
+                            trsm(side, uplo, trans, diag, 0.5, MatRef::from_slice(&a, 3, 3, 3), bm);
+                        }
+                        for (x, y) in b.iter().zip(&b0) {
+                            assert!(
+                                (x - y).abs() < 1e-10,
+                                "{side:?} {uplo:?} {trans:?} {diag:?}: {x} != {y}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn right_side_manual() {
+        // Solve X * A = B with A = [2 0; 1 1] lower, B = [4 1].
+        // x1*2 + x2*1 = 4, x2*1 = 1 -> x2 = 1, x1 = 1.5.
+        let a = vec![2.0, 1.0, -9.0, 1.0];
+        let mut b = vec![4.0, 1.0];
+        trsm(
+            Side::Right,
+            Uplo::Lower,
+            Trans::No,
+            Diag::NonUnit,
+            1.0,
+            MatRef::from_slice(&a, 2, 2, 2),
+            MatMut::from_slice(&mut b, 1, 2, 1),
+        );
+        assert_eq!(b, vec![1.5, 1.0]);
+    }
+
+    #[test]
+    fn alpha_zero_clears() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let mut b = vec![5.0, 5.0];
+        trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::No,
+            Diag::NonUnit,
+            0.0,
+            MatRef::from_slice(&a, 2, 2, 2),
+            MatMut::from_slice(&mut b, 2, 1, 2),
+        );
+        assert_eq!(b, vec![0.0, 0.0]);
+    }
+}

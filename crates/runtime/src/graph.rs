@@ -1,0 +1,404 @@
+//! Data-flow task graph with automatic dependency inference.
+//!
+//! Tasks declare read/write accesses on tiles; the graph derives the
+//! dependency edges from sequential-consistency rules, as XKaapi does for
+//! its dependent-task model (paper §III): a reader depends on the last
+//! writer of each tile it reads, and a writer depends on the last writer
+//! *and* every reader of the current version (anti-dependency).
+
+use std::collections::HashMap;
+
+use xk_kernels::perfmodel::{GpuModel, TileOp};
+
+use crate::data::{DataInfo, DataRegistry, HandleId};
+use crate::task::{Access, Task, TaskAccess, TaskBody, TaskId, TaskKind};
+
+#[derive(Clone, Debug, Default)]
+struct HandleHistory {
+    last_writer: Option<TaskId>,
+    readers_since_write: Vec<TaskId>,
+}
+
+/// A complete task graph: tasks, tiles and dependency edges.
+#[derive(Default)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+    data: DataRegistry,
+    history: HashMap<HandleId, HandleHistory>,
+    successors: Vec<Vec<TaskId>>,
+    n_predecessors: Vec<usize>,
+    n_edges: usize,
+}
+
+impl TaskGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        TaskGraph::default()
+    }
+
+    /// Registers a tile.
+    pub fn add_data(&mut self, info: DataInfo) -> HandleId {
+        self.data.add(info)
+    }
+
+    /// Convenience: registers a host-resident tile.
+    pub fn add_host_tile(&mut self, bytes: u64, pitched: bool, label: impl Into<String>) -> HandleId {
+        self.add_data(DataInfo::host(bytes, pitched, label))
+    }
+
+    /// Adds a kernel task; dependencies are inferred from `accesses`.
+    pub fn add_task(
+        &mut self,
+        op: TileOp,
+        accesses: Vec<TaskAccess>,
+        label: impl Into<String>,
+    ) -> TaskId {
+        self.push_task(TaskKind::Kernel, Some(op), accesses, label.into(), None, 0)
+    }
+
+    /// Adds a kernel task with a numeric body for the parallel executor.
+    pub fn add_task_with_body(
+        &mut self,
+        op: TileOp,
+        accesses: Vec<TaskAccess>,
+        label: impl Into<String>,
+        body: TaskBody,
+    ) -> TaskId {
+        self.push_task(
+            TaskKind::Kernel,
+            Some(op),
+            accesses,
+            label.into(),
+            Some(body),
+            0,
+        )
+    }
+
+    /// Adds a kernel task with an explicit priority.
+    pub fn add_task_prio(
+        &mut self,
+        op: TileOp,
+        accesses: Vec<TaskAccess>,
+        label: impl Into<String>,
+        priority: i32,
+    ) -> TaskId {
+        self.push_task(
+            TaskKind::Kernel,
+            Some(op),
+            accesses,
+            label.into(),
+            None,
+            priority,
+        )
+    }
+
+    /// Adds a host-coherency (flush) task reading `handles`: the model of
+    /// `xkblas_memory_coherent_async`. It depends on the last writers of
+    /// every handle and, in the simulator, triggers the DtoH transfers.
+    pub fn add_flush(&mut self, handles: &[HandleId], label: impl Into<String>) -> TaskId {
+        let accesses = handles
+            .iter()
+            .map(|&h| TaskAccess {
+                handle: h,
+                access: Access::Read,
+            })
+            .collect();
+        self.push_task(TaskKind::Flush, None, accesses, label.into(), None, 0)
+    }
+
+    fn push_task(
+        &mut self,
+        kind: TaskKind,
+        op: Option<TileOp>,
+        accesses: Vec<TaskAccess>,
+        label: String,
+        body: Option<TaskBody>,
+        priority: i32,
+    ) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        let mut deps: Vec<TaskId> = Vec::new();
+        for acc in &accesses {
+            debug_assert!(acc.handle.0 < self.data.len(), "unknown handle");
+            let hist = self.history.entry(acc.handle).or_default();
+            if acc.access.reads() {
+                if let Some(w) = hist.last_writer {
+                    deps.push(w);
+                }
+            }
+            if acc.access.writes() {
+                if let Some(w) = hist.last_writer {
+                    deps.push(w);
+                }
+                deps.extend(hist.readers_since_write.iter().copied());
+            }
+        }
+        deps.sort_unstable();
+        deps.dedup();
+        deps.retain(|&d| d != id);
+
+        // Update histories after computing deps (a task reading and writing
+        // the same tile must not depend on itself).
+        for acc in &accesses {
+            let hist = self.history.entry(acc.handle).or_default();
+            if acc.access.writes() {
+                hist.last_writer = Some(id);
+                hist.readers_since_write.clear();
+            } else if acc.access.reads() {
+                hist.readers_since_write.push(id);
+            }
+        }
+
+        self.successors.push(Vec::new());
+        self.n_predecessors.push(deps.len());
+        for d in &deps {
+            self.successors[d.0].push(id);
+            self.n_edges += 1;
+        }
+        self.tasks.push(Task {
+            id,
+            kind,
+            op,
+            accesses,
+            label,
+            body,
+            priority,
+        });
+        id
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Number of dependency edges.
+    pub fn n_edges(&self) -> usize {
+        self.n_edges
+    }
+
+    /// Task by id.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0]
+    }
+
+    /// Mutable task by id (the parallel executor takes bodies out).
+    pub fn task_mut(&mut self, id: TaskId) -> &mut Task {
+        &mut self.tasks[id.0]
+    }
+
+    /// All tasks in creation order.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Tile registry.
+    pub fn data(&self) -> &DataRegistry {
+        &self.data
+    }
+
+    /// Successors of a task.
+    pub fn successors(&self, id: TaskId) -> &[TaskId] {
+        &self.successors[id.0]
+    }
+
+    /// Number of predecessors of each task (indexed by `TaskId.0`).
+    pub fn predecessor_counts(&self) -> &[usize] {
+        &self.n_predecessors
+    }
+
+    /// Tasks with no predecessors.
+    pub fn roots(&self) -> Vec<TaskId> {
+        self.n_predecessors
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n == 0)
+            .map(|(i, _)| TaskId(i))
+            .collect()
+    }
+
+    /// Critical-path length in seconds under the given GPU model (kernels
+    /// only, transfers ignored): the lower bound on makespan with infinite
+    /// GPUs. Flush tasks count as zero.
+    pub fn critical_path_seconds(&self, model: &GpuModel) -> f64 {
+        let mut finish = vec![0.0f64; self.tasks.len()];
+        // Tasks are in topological order by construction (dependencies only
+        // point to earlier tasks).
+        let mut best = 0.0f64;
+        for t in &self.tasks {
+            let dur = t.op.map_or(0.0, |op| model.kernel_time(op));
+            // finish[t] = dur + max over predecessors; we don't store
+            // predecessor lists, so push forward over successors instead.
+            let f = finish[t.id.0] + dur;
+            finish[t.id.0] = f;
+            best = best.max(f);
+            for s in &self.successors[t.id.0] {
+                if finish[s.0] < f {
+                    finish[s.0] = f;
+                }
+            }
+        }
+        best
+    }
+
+    /// Total kernel flops in the graph.
+    pub fn total_flops(&self) -> f64 {
+        self.tasks
+            .iter()
+            .filter_map(|t| t.op)
+            .map(TileOp::flops)
+            .sum()
+    }
+
+    /// Graphviz DOT rendering (small graphs; debugging aid).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("digraph tasks {\n  rankdir=LR;\n");
+        for t in &self.tasks {
+            let _ = writeln!(s, "  t{} [label=\"{}\"];", t.id.0, t.label);
+        }
+        for t in &self.tasks {
+            for succ in &self.successors[t.id.0] {
+                let _ = writeln!(s, "  t{} -> t{};", t.id.0, succ.0);
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op() -> TileOp {
+        TileOp::Gemm { m: 4, n: 4, k: 4 }
+    }
+
+    fn read(h: HandleId) -> TaskAccess {
+        TaskAccess {
+            handle: h,
+            access: Access::Read,
+        }
+    }
+    fn write(h: HandleId) -> TaskAccess {
+        TaskAccess {
+            handle: h,
+            access: Access::Write,
+        }
+    }
+    fn rw(h: HandleId) -> TaskAccess {
+        TaskAccess {
+            handle: h,
+            access: Access::ReadWrite,
+        }
+    }
+
+    #[test]
+    fn reader_depends_on_writer() {
+        let mut g = TaskGraph::new();
+        let h = g.add_host_tile(64, false, "x");
+        let w = g.add_task(op(), vec![write(h)], "w");
+        let r = g.add_task(op(), vec![read(h)], "r");
+        assert_eq!(g.successors(w), &[r]);
+        assert_eq!(g.predecessor_counts()[r.0], 1);
+        assert_eq!(g.roots(), vec![w]);
+    }
+
+    #[test]
+    fn writer_waits_for_readers() {
+        let mut g = TaskGraph::new();
+        let h = g.add_host_tile(64, false, "x");
+        let w1 = g.add_task(op(), vec![write(h)], "w1");
+        let r1 = g.add_task(op(), vec![read(h)], "r1");
+        let r2 = g.add_task(op(), vec![read(h)], "r2");
+        let w2 = g.add_task(op(), vec![write(h)], "w2");
+        // w2 depends on w1 (output dep) and r1, r2 (anti-deps).
+        assert_eq!(g.predecessor_counts()[w2.0], 3);
+        assert!(g.successors(r1).contains(&w2));
+        assert!(g.successors(r2).contains(&w2));
+        assert!(g.successors(w1).contains(&w2));
+    }
+
+    #[test]
+    fn independent_tiles_no_edges() {
+        let mut g = TaskGraph::new();
+        let h1 = g.add_host_tile(64, false, "x");
+        let h2 = g.add_host_tile(64, false, "y");
+        g.add_task(op(), vec![write(h1)], "a");
+        g.add_task(op(), vec![write(h2)], "b");
+        assert_eq!(g.n_edges(), 0);
+        assert_eq!(g.roots().len(), 2);
+    }
+
+    #[test]
+    fn rw_chain_serializes() {
+        // The GEMM k-loop pattern: successive ReadWrite on the same C tile.
+        let mut g = TaskGraph::new();
+        let c = g.add_host_tile(64, false, "c");
+        let t0 = g.add_task(op(), vec![rw(c)], "k0");
+        let t1 = g.add_task(op(), vec![rw(c)], "k1");
+        let t2 = g.add_task(op(), vec![rw(c)], "k2");
+        assert_eq!(g.successors(t0), &[t1]);
+        assert_eq!(g.successors(t1), &[t2]);
+        assert_eq!(g.predecessor_counts()[t1.0], 1);
+        assert_eq!(g.predecessor_counts()[t2.0], 1);
+    }
+
+    #[test]
+    fn duplicate_deps_coalesce() {
+        let mut g = TaskGraph::new();
+        let a = g.add_host_tile(64, false, "a");
+        let b = g.add_host_tile(64, false, "b");
+        let w = g.add_task(op(), vec![write(a), write(b)], "w");
+        let r = g.add_task(op(), vec![read(a), read(b)], "r");
+        // Both deps point at w but must count once.
+        assert_eq!(g.predecessor_counts()[r.0], 1);
+        assert_eq!(g.successors(w), &[r]);
+    }
+
+    #[test]
+    fn flush_depends_on_last_writers() {
+        let mut g = TaskGraph::new();
+        let a = g.add_host_tile(64, false, "a");
+        let b = g.add_host_tile(64, false, "b");
+        let w1 = g.add_task(op(), vec![write(a)], "w1");
+        let w2 = g.add_task(op(), vec![write(b)], "w2");
+        let f = g.add_flush(&[a, b], "flush");
+        assert_eq!(g.predecessor_counts()[f.0], 2);
+        assert!(g.successors(w1).contains(&f));
+        assert!(g.successors(w2).contains(&f));
+        assert_eq!(g.task(f).kind, TaskKind::Flush);
+    }
+
+    #[test]
+    fn critical_path_of_chain() {
+        let mut g = TaskGraph::new();
+        let c = g.add_host_tile(64, false, "c");
+        for i in 0..5 {
+            g.add_task(
+                TileOp::Gemm { m: 1024, n: 1024, k: 1024 },
+                vec![rw(c)],
+                format!("k{i}"),
+            );
+        }
+        let model = GpuModel::v100();
+        let one = model.kernel_time(TileOp::Gemm { m: 1024, n: 1024, k: 1024 });
+        let cp = g.critical_path_seconds(&model);
+        assert!((cp - 5.0 * one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_renders() {
+        let mut g = TaskGraph::new();
+        let h = g.add_host_tile(64, false, "x");
+        let w = g.add_task(op(), vec![write(h)], "w");
+        let r = g.add_task(op(), vec![read(h)], "r");
+        let dot = g.to_dot();
+        assert!(dot.contains(&format!("t{} -> t{}", w.0, r.0)));
+    }
+}

@@ -1,0 +1,340 @@
+//! The paper's two transfer-source heuristics (§III-B, §III-C).
+//!
+//! Both sit at the same interface as in XKBlas: *between* the scheduler
+//! (which already chose the destination GPU for a task) and the data layer
+//! that initiates input transfers. They decide **where a tile comes from**.
+
+use xk_sim::SimTime;
+use xk_topo::{Device, Topology};
+
+use crate::cache::SoftwareCache;
+use crate::config::Heuristics;
+use crate::data::HandleId;
+
+/// The source decision for one input tile of a task mapped on `dst`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum SourceDecision {
+    /// Already valid (or already inbound) on the destination; usable at the
+    /// given time without any new transfer.
+    AlreadyThere {
+        /// When the local replica is (or becomes) valid.
+        ready_at: SimTime,
+    },
+    /// Copy device-to-device from a GPU holding a valid replica.
+    FromGpu {
+        /// Source GPU index.
+        src: usize,
+    },
+    /// §III-C optimistic path: wait for the in-flight replica landing on
+    /// `via`, then forward it device-to-device from there.
+    ForwardAfter {
+        /// The GPU the tile is currently being transferred to.
+        via: usize,
+        /// When that inbound transfer completes.
+        ready_at: SimTime,
+    },
+    /// Read from host memory over the destination's PCIe link.
+    FromHost,
+}
+
+/// Picks the transfer source for handle `h` needed on GPU `dst` at `now`.
+///
+/// Decision ladder (paper §III-B/III-C):
+/// 1. Valid (or inbound) on `dst` → no transfer.
+/// 2. Valid on some GPU → pick a source among them. With
+///    `topology_aware`, sort by descending P2P performance rank to `dst`
+///    (ties broken by `tie_break`, typically the GPU whose outbound engine
+///    frees first); without it, take the lowest-index valid GPU —
+///    the "no topo" ablation of Fig. 3.
+/// 3. No valid GPU replica, but one is in flight and `optimistic_d2d` is
+///    on → wait for the best in-flight replica and forward D2D.
+/// 4. Fall back to the host.
+pub fn select_source(
+    h: HandleId,
+    dst: usize,
+    now: SimTime,
+    cache: &SoftwareCache,
+    topo: &Topology,
+    cfg: Heuristics,
+    tie_break: &mut dyn FnMut(&[usize]) -> usize,
+) -> SourceDecision {
+    // 1. Local replica (valid now or inbound).
+    match cache.replica(h, dst) {
+        Some(crate::cache::ReplicaState::Valid) => {
+            return SourceDecision::AlreadyThere { ready_at: now };
+        }
+        Some(crate::cache::ReplicaState::UnderTransfer { ready_at }) => {
+            return SourceDecision::AlreadyThere {
+                ready_at: ready_at.max(now),
+            };
+        }
+        None => {}
+    }
+
+    // 2. Valid peer replicas (unless D2D is disabled entirely).
+    if !cfg.allow_d2d {
+        if cache.host_valid(h) {
+            return SourceDecision::FromHost;
+        }
+        // Data only lives on a device (e.g. not yet flushed): the single
+        // dirty holder is the only possible source.
+        let valid = cache.valid_gpus(h, now);
+        return SourceDecision::FromGpu {
+            src: *valid.first().expect("some replica must exist"),
+        };
+    }
+    let valid = cache.valid_gpus(h, now);
+    let peers: Vec<usize> = valid.into_iter().filter(|&g| g != dst).collect();
+    if !peers.is_empty() {
+        let src = if cfg.topology_aware {
+            let best_rank = peers
+                .iter()
+                .map(|&g| topo.perf_rank(g, dst))
+                .max()
+                .expect("peers non-empty");
+            let best: Vec<usize> = peers
+                .iter()
+                .copied()
+                .filter(|&g| topo.perf_rank(g, dst) == best_rank)
+                .collect();
+            best[tie_break(&best).min(best.len() - 1)]
+        } else {
+            // No topology awareness: arbitrary (first) valid source.
+            peers[0]
+        };
+        return SourceDecision::FromGpu { src };
+    }
+
+    // 3. Optimistic: in-flight replicas.
+    if cfg.optimistic_d2d {
+        let mut inflight = cache.in_flight(h, now);
+        if !inflight.is_empty() {
+            if cfg.topology_aware {
+                // Best link first, then earliest arrival.
+                inflight.sort_by(|a, b| {
+                    topo.perf_rank(b.0, dst)
+                        .cmp(&topo.perf_rank(a.0, dst))
+                        .then(a.1.cmp(&b.1))
+                        .then(a.0.cmp(&b.0))
+                });
+            } else {
+                inflight.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+            }
+            let (via, ready_at) = inflight[0];
+            return SourceDecision::ForwardAfter { via, ready_at };
+        }
+    }
+
+    // 4. Host.
+    debug_assert!(
+        cache.host_valid(h),
+        "no valid replica anywhere for {h:?} — graph dependency bug"
+    );
+    SourceDecision::FromHost
+}
+
+/// Convenience tie-breaker: always the first candidate (deterministic).
+pub fn first_candidate(_: &[usize]) -> usize {
+    0
+}
+
+/// The route device for a decision (used for trace attribution).
+pub fn decision_source_device(d: &SourceDecision) -> Option<Device> {
+    match d {
+        SourceDecision::AlreadyThere { .. } => None,
+        SourceDecision::FromGpu { src } => Some(Device::Gpu(*src)),
+        SourceDecision::ForwardAfter { via, .. } => Some(Device::Gpu(*via)),
+        SourceDecision::FromHost => Some(Device::Host),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{DataInfo, DataRegistry};
+    use xk_topo::dgx1;
+
+    fn setup(n: usize) -> (DataRegistry, SoftwareCache) {
+        let mut reg = DataRegistry::new();
+        for i in 0..n {
+            reg.add(DataInfo {
+                bytes: 100,
+                pitched: false,
+                initial: Device::Host,
+                label: format!("t{i}"),
+                owner_hint: None,
+            });
+        }
+        let cache = SoftwareCache::new(8, 1 << 30, &reg);
+        (reg, cache)
+    }
+
+    fn tb() -> impl FnMut(&[usize]) -> usize {
+        |_: &[usize]| 0
+    }
+
+    #[test]
+    fn falls_back_to_host_when_nothing_cached() {
+        let (_, cache) = setup(1);
+        let topo = dgx1();
+        let d = select_source(
+            HandleId(0),
+            3,
+            SimTime::ZERO,
+            &cache,
+            &topo,
+            Heuristics::full(),
+            &mut tb(),
+        );
+        assert_eq!(d, SourceDecision::FromHost);
+    }
+
+    #[test]
+    fn local_replica_wins() {
+        let (_, mut cache) = setup(1);
+        let topo = dgx1();
+        cache.begin_transfer(HandleId(0), 3, 100, SimTime::new(2.0));
+        // At t=1 it is inbound: usable at 2.0 without new transfer.
+        let d = select_source(
+            HandleId(0),
+            3,
+            SimTime::new(1.0),
+            &cache,
+            &topo,
+            Heuristics::full(),
+            &mut tb(),
+        );
+        assert_eq!(
+            d,
+            SourceDecision::AlreadyThere {
+                ready_at: SimTime::new(2.0)
+            }
+        );
+    }
+
+    #[test]
+    fn topology_aware_picks_best_rank() {
+        // GPU0's peers: gpu3 (rank 2), gpu1 (rank 1), gpu7 (rank 0).
+        let (_, mut cache) = setup(1);
+        let topo = dgx1();
+        let h = HandleId(0);
+        for g in [1, 3, 7] {
+            cache.begin_transfer(h, g, 100, SimTime::ZERO);
+        }
+        let now = SimTime::new(1.0);
+        let d = select_source(h, 0, now, &cache, &topo, Heuristics::full(), &mut tb());
+        assert_eq!(d, SourceDecision::FromGpu { src: 3 });
+        // Without topology awareness: first valid index (gpu1).
+        let d2 = select_source(h, 0, now, &cache, &topo, Heuristics::none(), &mut tb());
+        assert_eq!(d2, SourceDecision::FromGpu { src: 1 });
+    }
+
+    #[test]
+    fn optimistic_waits_for_inflight() {
+        let (_, mut cache) = setup(1);
+        let topo = dgx1();
+        let h = HandleId(0);
+        // In flight to gpu4 (rank 2 to gpu0), completes at t=5.
+        cache.begin_transfer(h, 4, 100, SimTime::new(5.0));
+        let now = SimTime::new(1.0);
+        let full = select_source(h, 0, now, &cache, &topo, Heuristics::full(), &mut tb());
+        assert_eq!(
+            full,
+            SourceDecision::ForwardAfter {
+                via: 4,
+                ready_at: SimTime::new(5.0)
+            }
+        );
+        // With the optimistic heuristic disabled: host fallback.
+        let no_h = select_source(
+            h,
+            0,
+            now,
+            &cache,
+            &topo,
+            Heuristics::no_optimistic(),
+            &mut tb(),
+        );
+        assert_eq!(no_h, SourceDecision::FromHost);
+    }
+
+    #[test]
+    fn optimistic_prefers_best_link_then_earliest() {
+        let (_, mut cache) = setup(1);
+        let topo = dgx1();
+        let h = HandleId(0);
+        // gpu1 (rank 1 to gpu0) arrives at t=2; gpu4 (rank 2) at t=4.
+        cache.begin_transfer(h, 1, 100, SimTime::new(2.0));
+        cache.begin_transfer(h, 4, 100, SimTime::new(4.0));
+        let d = select_source(
+            h,
+            0,
+            SimTime::ZERO,
+            &cache,
+            &topo,
+            Heuristics::full(),
+            &mut tb(),
+        );
+        assert_eq!(
+            d,
+            SourceDecision::ForwardAfter {
+                via: 4,
+                ready_at: SimTime::new(4.0)
+            }
+        );
+        // Topology off: earliest arrival wins.
+        let d2 = select_source(
+            h,
+            0,
+            SimTime::ZERO,
+            &cache,
+            &topo,
+            Heuristics {
+                topology_aware: false,
+                optimistic_d2d: true,
+                allow_d2d: true,
+            },
+            &mut tb(),
+        );
+        assert_eq!(
+            d2,
+            SourceDecision::ForwardAfter {
+                via: 1,
+                ready_at: SimTime::new(2.0)
+            }
+        );
+    }
+
+    #[test]
+    fn valid_peer_beats_inflight() {
+        let (_, mut cache) = setup(1);
+        let topo = dgx1();
+        let h = HandleId(0);
+        cache.begin_transfer(h, 7, 100, SimTime::new(0.5)); // valid at 0.5
+        cache.begin_transfer(h, 4, 100, SimTime::new(9.0)); // still in flight
+        let d = select_source(
+            h,
+            0,
+            SimTime::new(1.0),
+            &cache,
+            &topo,
+            Heuristics::full(),
+            &mut tb(),
+        );
+        assert_eq!(d, SourceDecision::FromGpu { src: 7 });
+    }
+
+    #[test]
+    fn tie_break_consulted_for_equal_ranks() {
+        // gpu3 and gpu4 both have rank 2 to gpu0.
+        let (_, mut cache) = setup(1);
+        let topo = dgx1();
+        let h = HandleId(0);
+        cache.begin_transfer(h, 3, 100, SimTime::ZERO);
+        cache.begin_transfer(h, 4, 100, SimTime::ZERO);
+        let now = SimTime::new(1.0);
+        let mut pick_last = |c: &[usize]| c.len() - 1;
+        let d = select_source(h, 0, now, &cache, &topo, Heuristics::full(), &mut pick_last);
+        assert_eq!(d, SourceDecision::FromGpu { src: 4 });
+    }
+}

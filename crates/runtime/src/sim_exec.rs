@@ -1,0 +1,829 @@
+//! The simulated executor: runs a task graph on a modelled multi-GPU node.
+//!
+//! This is the substitution for the paper's DGX-1 (see DESIGN.md §2): a
+//! deterministic discrete-event simulation where
+//!
+//! * each GPU has one inbound and one outbound copy engine plus
+//!   `kernel_streams` kernel engines,
+//! * each PCIe switch uplink and the inter-socket link are shared engines
+//!   (so host traffic of two GPUs on one switch *actually* contends),
+//! * transfer sources are chosen by the paper's heuristics
+//!   ([`crate::heuristics::select_source`]),
+//! * kernel durations come from the calibrated V100 model.
+//!
+//! The output is a makespan plus a full [`xk_trace::Trace`] from which the
+//! paper's figures are regenerated.
+
+use std::collections::VecDeque;
+
+use xk_sim::{Clock, Duration, EngineId, EnginePool, SimTime};
+use xk_topo::{BusSegment, Device, Topology};
+use xk_trace::{Place, Span, SpanKind, Trace};
+
+use crate::cache::{Eviction, SoftwareCache};
+use crate::config::RuntimeConfig;
+use crate::data::HandleId;
+use crate::graph::TaskGraph;
+use crate::heuristics::{select_source, SourceDecision};
+use crate::sched::{make_scheduler, pick_victim, SchedView, Scheduler};
+use crate::task::{TaskId, TaskKind};
+use xk_kernels::PITCHED_COPY_FACTOR;
+
+/// Result of a simulated run.
+#[derive(Clone, Debug)]
+pub struct SimOutcome {
+    /// End-to-end simulated time in seconds (last event).
+    pub makespan: f64,
+    /// Full execution trace.
+    pub trace: Trace,
+    /// Bytes moved host→device.
+    pub bytes_h2d: u64,
+    /// Bytes moved device→host.
+    pub bytes_d2h: u64,
+    /// Bytes moved device→device.
+    pub bytes_p2p: u64,
+    /// Number of tasks executed.
+    pub tasks_run: usize,
+    /// Number of tasks executed on a GPU other than their owner hint
+    /// (work-stealing migrations).
+    pub steals: usize,
+}
+
+impl SimOutcome {
+    /// Converts a flop count into achieved TFlop/s for this run.
+    pub fn tflops(&self, flops: f64) -> f64 {
+        if self.makespan <= 0.0 {
+            0.0
+        } else {
+            flops / self.makespan / 1e12
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// A task's kernel (or flush) completed.
+    TaskDone(TaskId),
+    /// A GPU should try to start queued work.
+    TryLaunch(usize),
+}
+
+struct GpuState {
+    /// PCIe receive path (host reads and PCIe peer traffic).
+    pcie_in: EngineId,
+    /// PCIe send path (write-backs and PCIe peer traffic).
+    pcie_out: EngineId,
+    kernel_streams: Vec<EngineId>,
+    queue: VecDeque<TaskId>,
+    in_flight: usize,
+}
+
+/// The simulated executor.
+pub struct SimExecutor<'a> {
+    graph: &'a TaskGraph,
+    topo: &'a Topology,
+    cfg: &'a RuntimeConfig,
+    pool: EnginePool,
+    gpus: Vec<GpuState>,
+    uplinks: Vec<EngineId>,
+    intersocket: EngineId,
+    /// Directional engine per NVLink-connected ordered GPU pair: each
+    /// brick is an independent channel, so a GPU can fan a tile out to
+    /// several peers concurrently (this is what makes the optimistic
+    /// forwarding profitable on the real machine).
+    nvlinks: std::collections::HashMap<(usize, usize), EngineId>,
+    cache: SoftwareCache,
+    clock: Clock<Ev>,
+    pending: Vec<usize>,
+    assigned_to: Vec<Option<usize>>,
+    /// Prefetch completion time per task, recorded at assignment time.
+    prefetched: Vec<Option<(usize, SimTime)>>,
+    /// Final writer of each handle (eager flush only writes back the last
+    /// version, like Chameleon's flush-on-release annotations).
+    final_writer: Vec<Option<TaskId>>,
+    /// Kernel seconds assigned-but-not-finished per GPU (dmdas input).
+    committed: Vec<f64>,
+    /// Host submission-thread cursor: tasks are activated serially at
+    /// `task_overhead` apiece.
+    submission_cursor: SimTime,
+    scheduler: Box<dyn Scheduler>,
+    trace: Trace,
+    bytes_h2d: u64,
+    bytes_d2h: u64,
+    bytes_p2p: u64,
+    tasks_done: usize,
+    steals: usize,
+}
+
+impl<'a> SimExecutor<'a> {
+    /// Prepares an executor for one run.
+    pub fn new(graph: &'a TaskGraph, topo: &'a Topology, cfg: &'a RuntimeConfig) -> Self {
+        let n = topo.n_gpus();
+        let mut pool = EnginePool::new();
+        let gpus = (0..n)
+            .map(|g| GpuState {
+                pcie_in: pool.add(format!("gpu{g}.pcie_in")),
+                pcie_out: pool.add(format!("gpu{g}.pcie_out")),
+                // One compute engine per GPU: CUDA streams share the SMs,
+                // so concurrent kernels time-share rather than multiply
+                // throughput. Streams still matter for transfer/compute
+                // overlap, which the separate copy engines provide.
+                kernel_streams: vec![pool.add(format!("gpu{g}.kernel"))],
+                queue: VecDeque::new(),
+                in_flight: 0,
+            })
+            .collect();
+        let uplinks: Vec<EngineId> = (0..topo.n_switches())
+            .map(|s| pool.add(format!("switch{s}.uplink")))
+            .collect();
+        let intersocket = pool.add("intersocket");
+        let mut nvlinks = std::collections::HashMap::new();
+        for (a, b, _) in topo.nvlink_edges() {
+            nvlinks.insert((a, b), pool.add(format!("nvlink{a}->{b}")));
+            nvlinks.insert((b, a), pool.add(format!("nvlink{b}->{a}")));
+        }
+        let cache = SoftwareCache::new(n, cfg.gpu_memory, graph.data());
+        let mut final_writer = vec![None; graph.data().len()];
+        for task in graph.tasks() {
+            for h in task.written_handles() {
+                final_writer[h.0] = Some(task.id);
+            }
+        }
+        SimExecutor {
+            graph,
+            topo,
+            cfg,
+            pool,
+            gpus,
+            uplinks,
+            intersocket,
+            nvlinks,
+            cache,
+            clock: Clock::new(),
+            pending: graph.predecessor_counts().to_vec(),
+            assigned_to: vec![None; graph.len()],
+            prefetched: vec![None; graph.len()],
+            final_writer,
+            committed: vec![0.0; n],
+            submission_cursor: SimTime::ZERO,
+            scheduler: make_scheduler(cfg.scheduler, n),
+            trace: Trace::new(),
+            bytes_h2d: 0,
+            bytes_d2h: 0,
+            bytes_p2p: 0,
+            tasks_done: 0,
+            steals: 0,
+        }
+    }
+
+    /// Runs the graph to completion and returns the outcome.
+    pub fn run(mut self) -> SimOutcome {
+        for t in self.graph.roots() {
+            self.on_ready(t);
+        }
+        while let Some((_, ev)) = self.clock.next() {
+            match ev {
+                Ev::TryLaunch(g) => self.try_launch(g),
+                Ev::TaskDone(t) => self.on_done(t),
+            }
+        }
+        assert_eq!(
+            self.tasks_done,
+            self.graph.len(),
+            "deadlock: {} of {} tasks completed",
+            self.tasks_done,
+            self.graph.len()
+        );
+        SimOutcome {
+            makespan: self.trace.makespan(),
+            trace: self.trace,
+            bytes_h2d: self.bytes_h2d,
+            bytes_d2h: self.bytes_d2h,
+            bytes_p2p: self.bytes_p2p,
+            tasks_run: self.tasks_done,
+            steals: self.steals,
+        }
+    }
+
+    fn on_ready(&mut self, t: TaskId) {
+        let task = self.graph.task(t);
+        if task.kind == TaskKind::Flush {
+            self.run_flush(t);
+            return;
+        }
+        let g = {
+            let avail: Vec<SimTime> = self.gpus.iter().map(|s| self.min_stream_free(s)).collect();
+            let lens: Vec<usize> = self.gpus.iter().map(|s| s.queue.len()).collect();
+            let view = SchedView {
+                now: self.clock.now(),
+                gpu_available: &avail,
+                queue_lens: &lens,
+                gpu_committed: &self.committed,
+                topo: self.topo,
+                cache: &self.cache,
+                model: &self.cfg.gpu_model,
+            };
+            self.scheduler.assign(task, self.graph, &view)
+        };
+        self.assigned_to[t.0] = Some(g);
+        if let Some(op) = task.op {
+            self.committed[g] += self.cfg.gpu_model.kernel_time(op);
+        }
+        // Serial task creation/scheduling on the host.
+        self.submission_cursor = self.submission_cursor.max(self.clock.now())
+            + xk_sim::Duration::new(self.cfg.task_overhead);
+        let submitted = self.submission_cursor;
+        if !self.cfg.prefetch_at_assign {
+            // StarPU-class runtimes fetch when the task nears execution:
+            // the deferred (launch-time) acquire path handles it.
+            self.gpus[g].queue.push_back(t);
+            self.clock.schedule(self.clock.now(), Ev::TryLaunch(g));
+            if self.scheduler.allows_stealing() {
+                for other in 0..self.gpus.len() {
+                    if other != g && self.gpus[other].in_flight == 0 {
+                        self.clock.schedule(self.clock.now(), Ev::TryLaunch(other));
+                    }
+                }
+            }
+            return;
+        }
+        // Prefetch at assignment: XKaapi initiates input transfers as soon
+        // as the scheduler maps a task, long before a kernel slot frees.
+        // This is what overlaps communication with computation — and what
+        // creates the simultaneous duplicate host reads that the optimistic
+        // heuristic removes (§III-C).
+        if let Some(ready) = self.acquire_inputs(t, g, false) {
+            self.prefetched[t.0] = Some((g, ready.max(submitted)));
+        } else {
+            // Remember the submission constraint for the deferred acquire.
+            self.prefetched[t.0] = None;
+        }
+        self.gpus[g].queue.push_back(t);
+        self.clock.schedule(self.clock.now(), Ev::TryLaunch(g));
+        // Under work stealing, idle peers must get a chance to pick this
+        // task up if the owner is saturated.
+        if self.scheduler.allows_stealing() {
+            for other in 0..self.gpus.len() {
+                if other != g && self.gpus[other].in_flight == 0 {
+                    self.clock.schedule(self.clock.now(), Ev::TryLaunch(other));
+                }
+            }
+        }
+    }
+
+    fn min_stream_free(&self, s: &GpuState) -> SimTime {
+        s.kernel_streams
+            .iter()
+            .map(|&e| self.pool.free_at(e))
+            .min()
+            .expect("at least one stream")
+    }
+
+    fn try_launch(&mut self, g: usize) {
+        loop {
+            if self.gpus[g].in_flight >= self.cfg.window {
+                return;
+            }
+            let next = if let Some(t) = self.gpus[g].queue.pop_front() {
+                t
+            } else if self.scheduler.allows_stealing() && self.gpus[g].in_flight == 0 {
+                // Steal only when truly idle, one task at a time — XKaapi
+                // steals on idleness, it does not hoard.
+                let lens: Vec<usize> = self.gpus.iter().map(|s| s.queue.len()).collect();
+                match pick_victim(&lens, g) {
+                    Some(v) => {
+                        // Steal the most recently pushed task (cold end).
+                        let t = self.gpus[v].queue.pop_back().expect("victim non-empty");
+                        self.steals += 1;
+                        self.assigned_to[t.0] = Some(g);
+                        t
+                    }
+                    None => return,
+                }
+            } else {
+                return;
+            };
+            self.launch(next, g);
+        }
+    }
+
+    /// Acquires all inputs of `t` on GPU `g` (capacity, transfers, output
+    /// residency) and pins its working set; returns when the last input
+    /// becomes usable, or `None` (with nothing pinned) when the working set
+    /// does not fit next to the currently pinned tiles and `force` is off.
+    fn acquire_inputs(&mut self, t: TaskId, g: usize, force: bool) -> Option<SimTime> {
+        let now = self.clock.now();
+        let task = self.graph.task(t);
+        let pins: Vec<HandleId> = task.accesses.iter().map(|a| a.handle).collect();
+        for &h in &pins {
+            self.cache.pin(h, g);
+        }
+
+        // Capacity: make room for every non-resident handle.
+        let needed: u64 = pins
+            .iter()
+            .filter(|&&h| self.cache.replica(h, g).is_none())
+            .map(|&h| self.graph.data().info(h).bytes)
+            .sum();
+        if needed > 0 {
+            let evictions = self.cache.make_room(g, needed, &pins, self.graph.data());
+            for ev in evictions {
+                if let Eviction::WriteBack(h) = ev {
+                    self.issue_d2h(h, g, now);
+                }
+            }
+            if !force && self.cache.used_bytes(g) + needed > self.cache.capacity(g) {
+                // Everything evictable is pinned by queued work: defer this
+                // task's prefetch to launch time.
+                for &h in &pins {
+                    self.cache.unpin(h, g);
+                }
+                return None;
+            }
+        }
+
+        // Input transfers.
+        let mut input_ready = now;
+        let reads: Vec<HandleId> = task.read_handles().collect();
+        for h in reads {
+            let ready = self.fetch(h, g, now);
+            input_ready = input_ready.max(ready);
+            self.cache.touch(h, g);
+        }
+        // Write-only outputs just need residency.
+        let writes: Vec<HandleId> = task.written_handles().collect();
+        for &h in &writes {
+            if self.cache.replica(h, g).is_none() {
+                let bytes = self.graph.data().info(h).bytes;
+                self.cache.allocate_output(h, g, bytes);
+            }
+        }
+        Some(input_ready)
+    }
+
+    fn unpin_task(&mut self, t: TaskId, g: usize) {
+        let handles: Vec<HandleId> = self.graph.task(t).accesses.iter().map(|a| a.handle).collect();
+        for h in handles {
+            self.cache.unpin(h, g);
+        }
+    }
+
+    /// Issues the kernel of `t` on GPU `g` (inputs were prefetched at
+    /// assignment; a stolen task re-acquires them on the thief).
+    fn launch(&mut self, t: TaskId, g: usize) {
+        let task = self.graph.task(t);
+        let input_ready = match self.prefetched[t.0] {
+            Some((pg, ready)) if pg == g => ready,
+            other => {
+                // Stolen (prefetched elsewhere) or deferred by memory
+                // pressure: acquire on this GPU now, releasing any stale
+                // pins on the original target.
+                if let Some((pg, _)) = other {
+                    self.unpin_task(t, pg);
+                }
+                let ready = self
+                    .acquire_inputs(t, g, true)
+                    .expect("forced acquire always succeeds");
+                self.prefetched[t.0] = Some((g, ready));
+                ready
+            }
+        };
+
+        // Kernel execution on the least-busy stream.
+        let op = task.op.expect("kernel task has an op");
+        let dur = Duration::new(self.cfg.gpu_model.kernel_time(op));
+        let stream_idx = self
+            .gpus[g]
+            .kernel_streams
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &e)| self.pool.free_at(e))
+            .map(|(i, _)| i)
+            .expect("stream");
+        let stream = self.gpus[g].kernel_streams[stream_idx];
+        let res = self.pool.reserve(&[stream], input_ready, dur);
+        self.trace.push(Span {
+            place: Place::Gpu(g as u32),
+            lane: (3 + stream_idx) as u8,
+            kind: SpanKind::Kernel,
+            start: res.start.seconds(),
+            end: res.end.seconds(),
+            bytes: 0,
+            label: task.label.clone(),
+        });
+        self.gpus[g].in_flight += 1;
+        self.clock.schedule(res.end, Ev::TaskDone(t));
+    }
+
+    /// Ensures `h` is (or will be) valid on `g`; returns when it is usable.
+    fn fetch(&mut self, h: HandleId, g: usize, now: SimTime) -> SimTime {
+        let nvlinks = &self.nvlinks;
+        let pool = &self.pool;
+        let gpus = &self.gpus;
+        let mut tie = |candidates: &[usize]| -> usize {
+            // Prefer the candidate whose outgoing channel to us frees first.
+            candidates
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &c)| {
+                    let engine = nvlinks
+                        .get(&(c, g))
+                        .copied()
+                        .unwrap_or(gpus[c].pcie_out);
+                    (pool.free_at(engine), c)
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty candidates")
+        };
+        let decision = select_source(
+            h,
+            g,
+            now,
+            &self.cache,
+            self.topo,
+            self.cfg.heuristics,
+            &mut tie,
+        );
+        let info = self.graph.data().info(h);
+        match decision {
+            SourceDecision::AlreadyThere { ready_at } => ready_at,
+            SourceDecision::FromGpu { src } => self.issue_p2p(h, src, g, now, info.bytes),
+            SourceDecision::ForwardAfter { via, ready_at } => {
+                self.issue_p2p(h, via, g, now.max(ready_at), info.bytes)
+            }
+            SourceDecision::FromHost => {
+                let route = self.topo.route(Device::Host, Device::Gpu(g));
+                let mut bw = route.bandwidth;
+                if info.pitched {
+                    bw *= PITCHED_COPY_FACTOR;
+                }
+                let dur = Duration::new(route.latency + info.bytes as f64 / bw);
+                let mut engines = vec![self.gpus[g].pcie_in];
+                engines.extend(self.segment_engines(&route.segments));
+                let res = self.pool.reserve(&engines, now, dur);
+                self.cache.begin_transfer(h, g, info.bytes, res.end);
+                self.bytes_h2d += info.bytes;
+                self.trace.push(Span {
+                    place: Place::Gpu(g as u32),
+                    lane: 0,
+                    kind: SpanKind::H2D,
+                    start: res.start.seconds(),
+                    end: res.end.seconds(),
+                    bytes: info.bytes,
+                    label: info.label.clone(),
+                });
+                res.end
+            }
+        }
+    }
+
+    fn issue_p2p(&mut self, h: HandleId, src: usize, dst: usize, earliest: SimTime, bytes: u64) -> SimTime {
+        let route = self.topo.route(Device::Gpu(src), Device::Gpu(dst));
+        // Device copies are compacted tiles (§III-A): full link bandwidth.
+        let dur = Duration::new(route.latency + bytes as f64 / route.bandwidth);
+        // NVLink routes use the dedicated directional brick; PCIe peer
+        // routes share the PCIe send/receive paths and the switch fabric.
+        let mut engines = match self.nvlinks.get(&(src, dst)) {
+            Some(&link) => vec![link],
+            None => vec![self.gpus[src].pcie_out, self.gpus[dst].pcie_in],
+        };
+        engines.extend(self.segment_engines(&route.segments));
+        let res = self.pool.reserve(&engines, earliest, dur);
+        self.cache.begin_transfer(h, dst, bytes, res.end);
+        self.bytes_p2p += bytes;
+        let label = self.graph.data().info(h).label.clone();
+        self.trace.push(Span {
+            place: Place::Gpu(dst as u32),
+            lane: 0,
+            kind: SpanKind::P2P,
+            start: res.start.seconds(),
+            end: res.end.seconds(),
+            bytes,
+            label,
+        });
+        res.end
+    }
+
+    fn issue_d2h(&mut self, h: HandleId, g: usize, earliest: SimTime) -> SimTime {
+        let info = self.graph.data().info(h);
+        let route = self.topo.route(Device::Gpu(g), Device::Host);
+        let mut bw = route.bandwidth;
+        if info.pitched {
+            bw *= PITCHED_COPY_FACTOR;
+        }
+        let dur = Duration::new(route.latency + info.bytes as f64 / bw);
+        let mut engines = vec![self.gpus[g].pcie_out];
+        engines.extend(self.segment_engines(&route.segments));
+        let res = self.pool.reserve(&engines, earliest, dur);
+        self.bytes_d2h += info.bytes;
+        self.trace.push(Span {
+            place: Place::Gpu(g as u32),
+            lane: 2,
+            kind: SpanKind::D2H,
+            start: res.start.seconds(),
+            end: res.end.seconds(),
+            bytes: info.bytes,
+            label: info.label.clone(),
+        });
+        res.end
+    }
+
+    fn segment_engines(&self, segments: &[BusSegment]) -> Vec<EngineId> {
+        segments
+            .iter()
+            .map(|s| match s {
+                BusSegment::HostUplink(sw) => self.uplinks[*sw],
+                BusSegment::InterSocket => self.intersocket,
+            })
+            .collect()
+    }
+
+    /// Executes a flush task: DtoH for every dirty read handle.
+    fn run_flush(&mut self, t: TaskId) {
+        let now = self.clock.now();
+        let handles: Vec<HandleId> = self.graph.task(t).read_handles().collect();
+        let mut done = now;
+        for h in handles {
+            if let Some(g) = self.cache.dirty_on(h) {
+                let end = self.issue_d2h(h, g, now);
+                self.cache.mark_flushed(h);
+                done = done.max(end);
+            }
+        }
+        self.clock.schedule(done, Ev::TaskDone(t));
+    }
+
+    fn on_done(&mut self, t: TaskId) {
+        let task = self.graph.task(t);
+        if task.kind == TaskKind::Kernel {
+            let g = self.assigned_to[t.0].expect("kernel was assigned");
+            if let Some((pg, _)) = self.prefetched[t.0] {
+                self.unpin_task(t, pg);
+            }
+            let writes: Vec<HandleId> = task.written_handles().collect();
+            for h in &writes {
+                let bytes = self.graph.data().info(*h).bytes;
+                self.cache.mark_written(*h, g, bytes, self.graph.data());
+            }
+            if self.cfg.eager_flush {
+                // Chameleon/StarPU behaviour: a computed tile goes straight
+                // back to the host once its *final* version is produced
+                // (the flush-back annotation on the unrolled data-flow
+                // graph, §IV-F) — intermediate k-step versions stay.
+                let now = self.clock.now();
+                for h in &writes {
+                    if self.final_writer[h.0] == Some(t) {
+                        self.issue_d2h(*h, g, now);
+                        self.cache.mark_flushed(*h);
+                    }
+                }
+            }
+            if let Some(op) = task.op {
+                self.committed[g] -= self.cfg.gpu_model.kernel_time(op);
+            }
+            if !self.cfg.cache_inputs {
+                // Re-read runtimes drop clean inputs right after use.
+                let reads: Vec<HandleId> = task.read_handles().collect();
+                for h in reads {
+                    self.cache.drop_replica(h, g, self.graph.data());
+                }
+            }
+            self.gpus[g].in_flight -= 1;
+            self.clock.schedule(self.clock.now(), Ev::TryLaunch(g));
+        }
+        self.tasks_done += 1;
+        let succs: Vec<TaskId> = self.graph.successors(t).to_vec();
+        for s in succs {
+            self.pending[s.0] -= 1;
+            if self.pending[s.0] == 0 {
+                self.on_ready(s);
+            }
+        }
+    }
+}
+
+/// Convenience: simulate `graph` on `topo` under `cfg`.
+pub fn simulate(graph: &TaskGraph, topo: &Topology, cfg: &RuntimeConfig) -> SimOutcome {
+    SimExecutor::new(graph, topo, cfg).run()
+}
+
+/// Measures the point-to-point bandwidth matrix of a topology by timing a
+/// single `bytes`-sized transfer between every device pair on an idle
+/// machine (regenerates the paper's Fig. 2 from the model).
+pub fn measure_bandwidth_matrix(topo: &Topology, bytes: u64) -> Vec<Vec<f64>> {
+    let n = topo.n_gpus();
+    let mut out = vec![vec![0.0; n]; n];
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            let route = topo.route(Device::Gpu(i), Device::Gpu(j));
+            let t = route.transfer_time(bytes);
+            *cell = bytes as f64 / t / 1e9;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Heuristics, SchedulerKind};
+    use crate::data::DataInfo;
+    use crate::task::{Access, TaskAccess};
+    use xk_kernels::perfmodel::TileOp;
+    use xk_topo::dgx1;
+
+    const MB: u64 = 1 << 20;
+
+    fn read(h: HandleId) -> TaskAccess {
+        TaskAccess { handle: h, access: Access::Read }
+    }
+    fn rw(h: HandleId) -> TaskAccess {
+        TaskAccess { handle: h, access: Access::ReadWrite }
+    }
+
+    fn tiny_op() -> TileOp {
+        TileOp::Gemm { m: 512, n: 512, k: 512 }
+    }
+
+    /// A graph where every GPU reads the same host tile once.
+    fn broadcast_graph(n_gpus: usize) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let shared = g.add_host_tile(32 * MB, true, "A");
+        for i in 0..n_gpus {
+            let c = g.add_data(DataInfo::host(32 * MB, true, format!("C{i}")).with_owner(i));
+            g.add_task(tiny_op(), vec![read(shared), rw(c)], format!("t{i}"));
+        }
+        g
+    }
+
+    #[test]
+    fn single_task_completes() {
+        let topo = dgx1();
+        let mut g = TaskGraph::new();
+        let c = g.add_host_tile(MB, true, "c");
+        g.add_task(tiny_op(), vec![rw(c)], "only");
+        let out = simulate(&g, &topo, &RuntimeConfig::default());
+        assert_eq!(out.tasks_run, 1);
+        assert!(out.makespan > 0.0);
+        assert!(out.bytes_h2d >= MB);
+    }
+
+    #[test]
+    fn deterministic_repeat() {
+        let topo = dgx1();
+        let g1 = broadcast_graph(8);
+        let g2 = broadcast_graph(8);
+        let cfg = RuntimeConfig::default();
+        let o1 = simulate(&g1, &topo, &cfg);
+        let o2 = simulate(&g2, &topo, &cfg);
+        assert_eq!(o1.makespan, o2.makespan);
+        assert_eq!(o1.trace.len(), o2.trace.len());
+        assert_eq!(o1.bytes_p2p, o2.bytes_p2p);
+    }
+
+    #[test]
+    fn optimistic_heuristic_reduces_host_traffic() {
+        let topo = dgx1();
+        let cfg_on = RuntimeConfig::default();
+        let cfg_off = RuntimeConfig::default().with_heuristics(Heuristics::no_optimistic());
+        let on = simulate(&broadcast_graph(8), &topo, &cfg_on);
+        let off = simulate(&broadcast_graph(8), &topo, &cfg_off);
+        // With the heuristic the shared tile crosses PCIe once and fans out
+        // over NVLink; without it every GPU rereads it from the host.
+        assert!(
+            on.bytes_h2d < off.bytes_h2d,
+            "h2d on={} off={}",
+            on.bytes_h2d,
+            off.bytes_h2d
+        );
+        assert!(on.bytes_p2p > 0);
+    }
+
+    #[test]
+    fn flush_moves_results_home() {
+        let topo = dgx1();
+        let mut g = TaskGraph::new();
+        let c = g.add_host_tile(MB, true, "c");
+        g.add_task(tiny_op(), vec![rw(c)], "compute");
+        g.add_flush(&[c], "flush");
+        let out = simulate(&g, &topo, &RuntimeConfig::default());
+        assert_eq!(out.tasks_run, 2);
+        assert!(out.bytes_d2h >= MB);
+        let d2h = out.trace.breakdown().get(SpanKind::D2H);
+        assert!(d2h > 0.0);
+    }
+
+    #[test]
+    fn chain_serializes_in_time() {
+        let topo = dgx1();
+        let mut g = TaskGraph::new();
+        let c = g.add_host_tile(MB, true, "c");
+        for i in 0..4 {
+            g.add_task(tiny_op(), vec![rw(c)], format!("k{i}"));
+        }
+        let out = simulate(&g, &topo, &RuntimeConfig::default());
+        // Kernel spans on the chain must not overlap.
+        let mut kernels: Vec<(f64, f64)> = out
+            .trace
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Kernel)
+            .map(|s| (s.start, s.end))
+            .collect();
+        kernels.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for w in kernels.windows(2) {
+            assert!(w[0].1 <= w[1].0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn stealing_engages_on_imbalance() {
+        // All tasks owned by gpu0: stealing must spread them. A shallow
+        // window keeps a queue backlog for the thieves to take from.
+        let topo = dgx1();
+        let mut g = TaskGraph::new();
+        for i in 0..32 {
+            let c = g.add_data(DataInfo::host(MB, true, format!("c{i}")).with_owner(0));
+            g.add_task(tiny_op(), vec![rw(c)], format!("t{i}"));
+        }
+        let mut cfg = RuntimeConfig::default();
+        cfg.window = 4;
+        let out = simulate(&g, &topo, &cfg);
+        assert!(out.steals > 0, "expected steals on imbalanced ownership");
+        let loads = out.trace.kernel_load_per_gpu(8);
+        let busy: usize = loads.iter().filter(|&&l| l > 0.0).count();
+        assert!(busy >= 4, "work did not spread: {loads:?}");
+    }
+
+    #[test]
+    fn static_owner_respects_distribution() {
+        let topo = dgx1();
+        let mut g = TaskGraph::new();
+        for i in 0..16 {
+            let c = g.add_data(DataInfo::host(MB, true, format!("c{i}")).with_owner(i % 8));
+            g.add_task(tiny_op(), vec![rw(c)], format!("t{i}"));
+        }
+        let cfg = RuntimeConfig::default().with_scheduler(SchedulerKind::StaticOwner);
+        let out = simulate(&g, &topo, &cfg);
+        assert_eq!(out.steals, 0);
+        let loads = out.trace.kernel_load_per_gpu(8);
+        assert!(loads.iter().all(|&l| l > 0.0), "{loads:?}");
+    }
+
+    #[test]
+    fn eviction_on_small_memory() {
+        let topo = dgx1();
+        let mut g = TaskGraph::new();
+        // 8 tiles of 32MB on a 100MB GPU, all processed by gpu0.
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let c = g.add_data(DataInfo::host(32 * MB, true, format!("c{i}")).with_owner(0));
+            g.add_task(tiny_op(), vec![rw(c)], format!("t{i}"));
+            handles.push(c);
+        }
+        let mut cfg = RuntimeConfig::default().with_scheduler(SchedulerKind::StaticOwner);
+        cfg.gpu_memory = 100 * MB;
+        cfg.window = 1;
+        let out = simulate(&g, &topo, &cfg);
+        assert_eq!(out.tasks_run, 8);
+        // Dirty evictions force write-backs even without a flush task.
+        assert!(out.bytes_d2h > 0, "expected eviction write-backs");
+    }
+
+    #[test]
+    fn data_on_device_runs_without_host_traffic() {
+        let topo = dgx1();
+        let mut g = TaskGraph::new();
+        for i in 0..8 {
+            let c = g.add_data(DataInfo::on_gpu(32 * MB, i, format!("c{i}")));
+            g.add_task(tiny_op(), vec![rw(c)], format!("t{i}"));
+        }
+        let out = simulate(&g, &topo, &RuntimeConfig::default());
+        assert_eq!(out.bytes_h2d, 0, "DoD run must not touch the host");
+        assert_eq!(out.bytes_d2h, 0);
+    }
+
+    #[test]
+    fn bandwidth_matrix_matches_topology() {
+        let topo = dgx1();
+        let m = measure_bandwidth_matrix(&topo, 64 * MB);
+        assert!((m[0][3] - 96.4).abs() < 2.0, "{}", m[0][3]);
+        assert!((m[0][1] - 48.4).abs() < 2.0, "{}", m[0][1]);
+        assert!(m[0][5] < 20.0);
+        assert!(m[0][0] > 500.0);
+    }
+
+    #[test]
+    fn eager_flush_generates_d2h_per_write() {
+        let topo = dgx1();
+        let mut g = TaskGraph::new();
+        for i in 0..4 {
+            let c = g.add_data(DataInfo::host(MB, true, format!("c{i}")).with_owner(i));
+            g.add_task(tiny_op(), vec![rw(c)], format!("t{i}"));
+        }
+        let mut cfg = RuntimeConfig::default();
+        cfg.eager_flush = true;
+        let out = simulate(&g, &topo, &cfg);
+        assert!(out.bytes_d2h >= 4 * MB);
+    }
+}

@@ -1,0 +1,148 @@
+//! Tasks: the unit of scheduling of the XKaapi-like runtime.
+
+use xk_kernels::perfmodel::TileOp;
+
+use crate::data::HandleId;
+
+/// Task identifier (index into the graph's task table).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct TaskId(pub usize);
+
+/// Access mode of a task on a data handle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Access {
+    /// The task reads the tile.
+    Read,
+    /// The task overwrites the tile without reading it.
+    Write,
+    /// The task reads and updates the tile.
+    ReadWrite,
+}
+
+impl Access {
+    /// True when the tile's previous contents must be present on the device.
+    pub fn reads(self) -> bool {
+        matches!(self, Access::Read | Access::ReadWrite)
+    }
+
+    /// True when the task produces a new version of the tile.
+    pub fn writes(self) -> bool {
+        matches!(self, Access::Write | Access::ReadWrite)
+    }
+}
+
+/// One access of a task.
+#[derive(Clone, Copy, Debug)]
+pub struct TaskAccess {
+    /// The tile accessed.
+    pub handle: HandleId,
+    /// The access mode.
+    pub access: Access,
+}
+
+/// What a task is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TaskKind {
+    /// A compute kernel (runs on a GPU in simulated mode).
+    Kernel,
+    /// A host-coherency task (`xkblas_memory_coherent_async`): makes its
+    /// read handles valid in host memory. Runs on the host; in the
+    /// simulator it reserves DtoH transfers for every dirty handle.
+    Flush,
+}
+
+/// Numeric payload executed by the parallel (real CPU) executor.
+///
+/// Captures the tile views; the scheduling layer guarantees exclusive
+/// access to written tiles at execution time.
+pub type TaskBody = Box<dyn FnOnce() + Send + Sync>;
+
+/// A runtime task.
+pub struct Task {
+    /// Identifier (assigned by the graph).
+    pub id: TaskId,
+    /// Kernel vs flush.
+    pub kind: TaskKind,
+    /// Shape fed to the GPU performance model (kernels only).
+    pub op: Option<TileOp>,
+    /// Data accesses, in declaration order. The *first written* handle is
+    /// the task's "owner tile" for owner-computes scheduling.
+    pub accesses: Vec<TaskAccess>,
+    /// Short label for traces (e.g. `"gemm C(1,2) k=3"`).
+    pub label: String,
+    /// Numeric payload for the parallel executor (consumed on execution).
+    pub body: Option<TaskBody>,
+    /// Scheduling priority (higher runs earlier among ready tasks; tiled
+    /// algorithms use this to favour the critical path, like StarPU's
+    /// `dmdas` consumes priorities).
+    pub priority: i32,
+}
+
+impl Task {
+    /// The first handle this task writes, if any (owner-computes anchor).
+    pub fn owner_handle(&self) -> Option<HandleId> {
+        self.accesses
+            .iter()
+            .find(|a| a.access.writes())
+            .map(|a| a.handle)
+    }
+
+    /// Handles that must be resident (and valid) before the kernel starts.
+    pub fn read_handles(&self) -> impl Iterator<Item = HandleId> + '_ {
+        self.accesses
+            .iter()
+            .filter(|a| a.access.reads())
+            .map(|a| a.handle)
+    }
+
+    /// Handles written by this task.
+    pub fn written_handles(&self) -> impl Iterator<Item = HandleId> + '_ {
+        self.accesses
+            .iter()
+            .filter(|a| a.access.writes())
+            .map(|a| a.handle)
+    }
+}
+
+impl std::fmt::Debug for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Task")
+            .field("id", &self.id)
+            .field("kind", &self.kind)
+            .field("label", &self.label)
+            .field("accesses", &self.accesses)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_predicates() {
+        assert!(Access::Read.reads() && !Access::Read.writes());
+        assert!(!Access::Write.reads() && Access::Write.writes());
+        assert!(Access::ReadWrite.reads() && Access::ReadWrite.writes());
+    }
+
+    #[test]
+    fn owner_is_first_written_handle() {
+        let t = Task {
+            id: TaskId(0),
+            kind: TaskKind::Kernel,
+            op: None,
+            accesses: vec![
+                TaskAccess { handle: HandleId(7), access: Access::Read },
+                TaskAccess { handle: HandleId(9), access: Access::ReadWrite },
+                TaskAccess { handle: HandleId(3), access: Access::Write },
+            ],
+            label: String::new(),
+            body: None,
+            priority: 0,
+        };
+        assert_eq!(t.owner_handle(), Some(HandleId(9)));
+        assert_eq!(t.read_handles().collect::<Vec<_>>(), vec![HandleId(7), HandleId(9)]);
+        assert_eq!(t.written_handles().collect::<Vec<_>>(), vec![HandleId(9), HandleId(3)]);
+    }
+}

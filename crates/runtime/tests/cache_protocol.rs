@@ -1,0 +1,130 @@
+//! Property-based tests of the software-cache protocol: random operation
+//! sequences must preserve the MOSI + UnderTransfer invariants.
+
+use proptest::prelude::*;
+use xk_runtime::{DataInfo, DataRegistry, HandleId, SoftwareCache};
+use xk_sim::SimTime;
+
+#[derive(Clone, Debug)]
+enum Op {
+    BeginTransfer { h: usize, g: usize, ready: f64 },
+    MarkWritten { h: usize, g: usize },
+    Flush { h: usize },
+    Touch { h: usize, g: usize },
+    MakeRoom { g: usize, bytes: u64 },
+    PinUnpin { h: usize, g: usize },
+}
+
+fn arb_op(n_handles: usize, n_gpus: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..n_handles, 0..n_gpus, 0.0f64..10.0)
+            .prop_map(|(h, g, ready)| Op::BeginTransfer { h, g, ready }),
+        (0..n_handles, 0..n_gpus).prop_map(|(h, g)| Op::MarkWritten { h, g }),
+        (0..n_handles).prop_map(|h| Op::Flush { h }),
+        (0..n_handles, 0..n_gpus).prop_map(|(h, g)| Op::Touch { h, g }),
+        (0..n_gpus, 1u64..2000).prop_map(|(g, bytes)| Op::MakeRoom { g, bytes }),
+        (0..n_handles, 0..n_gpus).prop_map(|(h, g)| Op::PinUnpin { h, g }),
+    ]
+}
+
+fn registry(n: usize) -> DataRegistry {
+    let mut reg = DataRegistry::new();
+    for i in 0..n {
+        reg.add(DataInfo::host(512, i % 2 == 0, format!("t{i}")));
+    }
+    reg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After any sequence of operations:
+    /// * at most one device holds a dirty copy,
+    /// * a handle is never simultaneously dirty and host-valid,
+    /// * per-device byte accounting is exact,
+    /// * a written-then-unflushed handle always has *some* valid replica.
+    #[test]
+    fn protocol_invariants_hold(
+        ops in proptest::collection::vec(arb_op(6, 4), 1..80),
+    ) {
+        let reg = registry(6);
+        let mut cache = SoftwareCache::new(4, 4096, &reg);
+        for op in ops {
+            match op {
+                Op::BeginTransfer { h, g, ready } => {
+                    let h = HandleId(h);
+                    // Only meaningful if a source exists: host-valid or
+                    // some valid replica (mirrors the executor contract).
+                    cache.begin_transfer(h, g, 512, SimTime::new(ready));
+                }
+                Op::MarkWritten { h, g } => {
+                    cache.mark_written(HandleId(h), g, 512, &reg);
+                }
+                Op::Flush { h } => {
+                    let h = HandleId(h);
+                    if cache.dirty_on(h).is_some() {
+                        cache.mark_flushed(h);
+                    }
+                }
+                Op::Touch { h, g } => cache.touch(HandleId(h), g),
+                Op::MakeRoom { g, bytes } => {
+                    let _ = cache.make_room(g, bytes, &[], &reg);
+                }
+                Op::PinUnpin { h, g } => {
+                    let h = HandleId(h);
+                    cache.pin(h, g);
+                    cache.unpin(h, g);
+                }
+            }
+            cache.check_invariants(&reg).unwrap();
+            // Dirty handles must hold a valid replica somewhere.
+            for (h, _) in reg.iter() {
+                if let Some(owner) = cache.dirty_on(h) {
+                    prop_assert!(
+                        cache.valid_on(h, owner, SimTime::new(1e12)),
+                        "dirty {h:?} has no replica on gpu{owner}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// `make_room` never evicts pinned handles and always leaves byte
+    /// accounting consistent.
+    #[test]
+    fn make_room_respects_pins(
+        resident in proptest::collection::btree_set(0usize..8, 1..8),
+        pinned in proptest::collection::btree_set(0usize..8, 0..4),
+        request in 1u64..4096,
+    ) {
+        let reg = registry(8);
+        let mut cache = SoftwareCache::new(1, 2048, &reg);
+        for &h in &resident {
+            cache.begin_transfer(HandleId(h), 0, 512, SimTime::ZERO);
+        }
+        for &h in &pinned {
+            cache.pin(HandleId(h), 0);
+        }
+        let _ = cache.make_room(0, request, &[], &reg);
+        cache.check_invariants(&reg).unwrap();
+        for &h in pinned.intersection(&resident) {
+            prop_assert!(
+                cache.replica(HandleId(h), 0).is_some(),
+                "pinned handle {h} evicted"
+            );
+        }
+    }
+
+    /// Under-transfer replicas become valid exactly at their deadline.
+    #[test]
+    fn under_transfer_deadline(ready in 0.1f64..100.0, eps in 1e-6f64..0.05) {
+        let reg = registry(1);
+        let mut cache = SoftwareCache::new(1, 4096, &reg);
+        let h = HandleId(0);
+        cache.begin_transfer(h, 0, 512, SimTime::new(ready));
+        prop_assert!(!cache.valid_on(h, 0, SimTime::new(ready - eps)));
+        prop_assert!(cache.valid_on(h, 0, SimTime::new(ready)));
+        prop_assert_eq!(cache.in_flight(h, SimTime::new(ready - eps)).len(), 1);
+        prop_assert!(cache.in_flight(h, SimTime::new(ready)).is_empty());
+    }
+}

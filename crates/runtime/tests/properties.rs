@@ -1,0 +1,197 @@
+//! Property-based tests of the runtime: dependency safety, cache protocol
+//! invariants, and simulator conservation laws on random task graphs.
+
+use proptest::prelude::*;
+use xk_kernels::perfmodel::TileOp;
+use xk_runtime::task::{Access, TaskAccess};
+use xk_runtime::{simulate, DataInfo, Heuristics, RuntimeConfig, SchedulerKind, TaskGraph};
+use xk_topo::dgx1;
+use xk_trace::SpanKind;
+
+const MB: u64 = 1 << 20;
+
+/// A random but well-formed graph: `n_tiles` tiles, `ops` random accesses.
+fn build_graph(n_tiles: usize, ops: &[(usize, usize, u8)]) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let tiles: Vec<_> = (0..n_tiles)
+        .map(|i| g.add_data(DataInfo::host(4 * MB, i % 2 == 0, format!("t{i}")).with_owner(i % 8)))
+        .collect();
+    for (idx, &(a, b, mode)) in ops.iter().enumerate() {
+        let ha = tiles[a % n_tiles];
+        let hb = tiles[b % n_tiles];
+        let accesses = match mode % 3 {
+            0 => vec![
+                TaskAccess { handle: ha, access: Access::Read },
+                TaskAccess { handle: hb, access: Access::ReadWrite },
+            ],
+            1 => vec![TaskAccess { handle: hb, access: Access::Write }],
+            _ => {
+                if ha == hb {
+                    vec![TaskAccess { handle: ha, access: Access::ReadWrite }]
+                } else {
+                    vec![
+                        TaskAccess { handle: ha, access: Access::Read },
+                        TaskAccess { handle: hb, access: Access::Read },
+                        // Reads need a written tile somewhere to anchor
+                        // scheduling; use hb as output too.
+                        TaskAccess { handle: tiles[(a + b) % n_tiles], access: Access::ReadWrite },
+                    ]
+                }
+            }
+        };
+        // Deduplicate handles (a task must not access one tile twice).
+        let mut seen = Vec::new();
+        let accesses: Vec<_> = accesses
+            .into_iter()
+            .filter(|acc| {
+                if seen.contains(&acc.handle) {
+                    false
+                } else {
+                    seen.push(acc.handle);
+                    true
+                }
+            })
+            .collect();
+        g.add_task(TileOp::Gemm { m: 256, n: 256, k: 256 }, accesses, format!("op{idx}"));
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every random graph completes on every scheduler with no deadlock,
+    /// and per-engine spans never overlap.
+    #[test]
+    fn random_graphs_complete_everywhere(
+        n_tiles in 1usize..12,
+        ops in proptest::collection::vec((0usize..12, 0usize..12, 0u8..3), 1..40),
+        sched_pick in 0usize..4,
+    ) {
+        let topo = dgx1();
+        let sched = [
+            SchedulerKind::LocalityWorkStealing,
+            SchedulerKind::Dmdas,
+            SchedulerKind::RoundRobin,
+            SchedulerKind::StaticOwner,
+        ][sched_pick];
+        let g = build_graph(n_tiles, &ops);
+        let n_tasks = g.len();
+        let out = simulate(&g, &topo, &RuntimeConfig::default().with_scheduler(sched));
+        prop_assert_eq!(out.tasks_run, n_tasks);
+        prop_assert!(out.makespan >= 0.0);
+        // Kernel spans on one (gpu, lane) never overlap.
+        let mut by_lane: std::collections::BTreeMap<(xk_trace::Place, u8), Vec<(f64, f64)>> =
+            Default::default();
+        for s in out.trace.spans() {
+            if s.kind == SpanKind::Kernel {
+                by_lane.entry((s.place, s.lane)).or_default().push((s.start, s.end));
+            }
+        }
+        for spans in by_lane.values_mut() {
+            spans.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for w in spans.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0 + 1e-9, "kernel overlap {w:?}");
+            }
+        }
+    }
+
+    /// Determinism: identical graphs and configs produce identical traces.
+    #[test]
+    fn simulation_is_deterministic(
+        n_tiles in 1usize..10,
+        ops in proptest::collection::vec((0usize..10, 0usize..10, 0u8..3), 1..30),
+    ) {
+        let topo = dgx1();
+        let cfg = RuntimeConfig::default();
+        let o1 = simulate(&build_graph(n_tiles, &ops), &topo, &cfg);
+        let o2 = simulate(&build_graph(n_tiles, &ops), &topo, &cfg);
+        prop_assert_eq!(o1.makespan, o2.makespan);
+        prop_assert_eq!(o1.bytes_h2d, o2.bytes_h2d);
+        prop_assert_eq!(o1.bytes_p2p, o2.bytes_p2p);
+        prop_assert_eq!(o1.trace.len(), o2.trace.len());
+    }
+
+    /// The heuristics can only reduce host traffic, never break completion;
+    /// and disabling them never *reduces* H2D bytes on read-shared graphs.
+    #[test]
+    fn heuristics_never_increase_host_traffic(
+        n_readers in 2usize..8,
+        tile_mb in 1u64..32,
+    ) {
+        let topo = dgx1();
+        let build = || {
+            let mut g = TaskGraph::new();
+            let shared = g.add_host_tile(tile_mb * MB, true, "A");
+            for i in 0..n_readers {
+                let c = g.add_data(DataInfo::host(tile_mb * MB, true, format!("C{i}")).with_owner(i));
+                g.add_task(
+                    TileOp::Gemm { m: 512, n: 512, k: 512 },
+                    vec![
+                        TaskAccess { handle: shared, access: Access::Read },
+                        TaskAccess { handle: c, access: Access::ReadWrite },
+                    ],
+                    format!("t{i}"),
+                );
+            }
+            g
+        };
+        let on = simulate(&build(), &topo, &RuntimeConfig::default());
+        let off = simulate(
+            &build(),
+            &topo,
+            &RuntimeConfig::default().with_heuristics(Heuristics::none()),
+        );
+        prop_assert!(on.bytes_h2d <= off.bytes_h2d,
+            "heuristics increased H2D: {} > {}", on.bytes_h2d, off.bytes_h2d);
+        prop_assert_eq!(on.tasks_run, off.tasks_run);
+    }
+
+    /// Makespan is never below the critical path (conservation law).
+    #[test]
+    fn makespan_at_least_critical_path(
+        n_tiles in 1usize..8,
+        ops in proptest::collection::vec((0usize..8, 0usize..8, 0u8..3), 1..25),
+    ) {
+        let topo = dgx1();
+        let cfg = RuntimeConfig::default();
+        let g = build_graph(n_tiles, &ops);
+        let cp = g.critical_path_seconds(&cfg.gpu_model);
+        let out = simulate(&g, &topo, &cfg);
+        prop_assert!(out.makespan >= cp - 1e-9, "makespan {} < cp {}", out.makespan, cp);
+    }
+}
+
+/// Transfer byte accounting matches the trace.
+#[test]
+fn byte_accounting_matches_trace() {
+    let topo = dgx1();
+    let mut g = TaskGraph::new();
+    let a = g.add_host_tile(8 * MB, true, "A");
+    for i in 0..4 {
+        let c = g.add_data(DataInfo::host(8 * MB, true, format!("C{i}")).with_owner(i));
+        g.add_task(
+            TileOp::Gemm { m: 512, n: 512, k: 512 },
+            vec![
+                TaskAccess { handle: a, access: Access::Read },
+                TaskAccess { handle: c, access: Access::ReadWrite },
+            ],
+            format!("t{i}"),
+        );
+    }
+    g.add_flush(&[a], "flush");
+    let out = simulate(&g, &topo, &RuntimeConfig::default());
+    let traced = out.trace.bytes_by_kind();
+    assert_eq!(
+        traced.get(&SpanKind::H2D).copied().unwrap_or(0),
+        out.bytes_h2d
+    );
+    assert_eq!(
+        traced.get(&SpanKind::P2P).copied().unwrap_or(0),
+        out.bytes_p2p
+    );
+    assert_eq!(
+        traced.get(&SpanKind::D2H).copied().unwrap_or(0),
+        out.bytes_d2h
+    );
+}

@@ -1,0 +1,210 @@
+//! Deterministic event queue.
+//!
+//! A classic discrete-event priority queue keyed by [`SimTime`]. Ties are
+//! broken by a monotonically increasing sequence number so that two events
+//! scheduled for the same instant always pop in scheduling order — this is
+//! what makes whole-simulation runs bit-for-bit reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop the earliest (time, seq).
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// Events of type `E` are scheduled at absolute [`SimTime`]s and popped in
+/// non-decreasing time order, FIFO among equal times.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// The simulation driver: a clock plus an event queue.
+///
+/// [`Clock::advance_to`] enforces monotonicity; popping through the clock
+/// keeps `now()` consistent with the last delivered event.
+pub struct Clock<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+}
+
+impl<E> Default for Clock<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Clock<E> {
+    /// A clock at time zero with an empty queue.
+    pub fn new() -> Self {
+        Clock {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+        }
+    }
+
+    /// Current simulated time (time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is in the past — scheduling into the past would break
+    /// causality and always indicates a model bug.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.now,
+            "cannot schedule event in the past: {:?} < {:?}",
+            time,
+            self.now
+        );
+        self.queue.push(time, event);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn next(&mut self) -> Option<(SimTime, E)> {
+        let (t, e) = self.queue.pop()?;
+        debug_assert!(t >= self.now, "event heap returned a past event");
+        self.now = t;
+        Some((t, e))
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::new(3.0), "c");
+        q.push(SimTime::new(1.0), "a");
+        q.push(SimTime::new(2.0), "b");
+        assert_eq!(q.pop(), Some((SimTime::new(1.0), "a")));
+        assert_eq!(q.pop(), Some((SimTime::new(2.0), "b")));
+        assert_eq!(q.pop(), Some((SimTime::new(3.0), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime::new(1.0), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((SimTime::new(1.0), i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut c = Clock::new();
+        c.schedule(SimTime::new(5.0), ());
+        c.schedule(SimTime::new(2.0), ());
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.next();
+        assert_eq!(c.now(), SimTime::new(2.0));
+        c.next();
+        assert_eq!(c.now(), SimTime::new(5.0));
+        assert!(c.next().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut c = Clock::new();
+        c.schedule(SimTime::new(2.0), ());
+        c.next();
+        c.schedule(SimTime::new(1.0), ());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::new(4.0), 1u8);
+        q.push(SimTime::new(2.0), 2u8);
+        assert_eq!(q.peek_time(), Some(SimTime::new(2.0)));
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::new(2.0));
+    }
+}

@@ -1,0 +1,46 @@
+//! # xk-sim — deterministic discrete-event simulation core
+//!
+//! This crate is the timing substrate for the whole reproduction: it knows
+//! nothing about GPUs or BLAS, only about **virtual time**, **events** and
+//! **serially reusable engines**.
+//!
+//! The executors in `xk-runtime` and the baseline library models in
+//! `xk-baselines` are built on three primitives:
+//!
+//! * [`SimTime`] / [`Duration`] — totally ordered `f64` seconds.
+//! * [`Clock`] / [`EventQueue`] — a deterministic event heap with FIFO
+//!   tie-breaking, so identical inputs always produce identical traces.
+//! * [`EnginePool`] — resources (copy engines, kernel streams, PCIe
+//!   switches) that execute one operation at a time, with *joint
+//!   reservations* for operations that hold several resources at once.
+//!
+//! ## Example
+//!
+//! ```
+//! use xk_sim::{Clock, EnginePool, SimTime, Duration};
+//!
+//! // Two transfers contending for one copy engine serialize.
+//! let mut pool = EnginePool::new();
+//! let engine = pool.add("gpu0.h2d");
+//! let first = pool.reserve(&[engine], SimTime::ZERO, Duration::new(1.0));
+//! let second = pool.reserve(&[engine], SimTime::ZERO, Duration::new(1.0));
+//! assert_eq!(second.start, first.end);
+//!
+//! // Events pop in time order, FIFO among ties.
+//! let mut clock: Clock<&str> = Clock::new();
+//! clock.schedule(SimTime::new(2.0), "later");
+//! clock.schedule(SimTime::new(1.0), "sooner");
+//! assert_eq!(clock.next().unwrap().1, "sooner");
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+mod event;
+mod stats;
+mod time;
+
+pub use engine::{EngineId, EnginePool, Reservation};
+pub use event::{Clock, EventQueue};
+pub use stats::{imbalance, Summary};
+pub use time::{Duration, SimTime};

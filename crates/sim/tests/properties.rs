@@ -1,0 +1,88 @@
+//! Property-based tests of the DES core invariants.
+
+use proptest::prelude::*;
+use xk_sim::{Clock, Duration, EnginePool, SimTime};
+
+proptest! {
+    /// Events always pop in non-decreasing time order regardless of the
+    /// scheduling order.
+    #[test]
+    fn events_pop_monotonically(times in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut clock: Clock<usize> = Clock::new();
+        for (i, t) in times.iter().enumerate() {
+            clock.schedule(SimTime::new(*t), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = clock.next() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+        prop_assert_eq!(clock.pending(), 0);
+    }
+
+    /// Joint reservations never overlap on any engine: for a random sequence
+    /// of operations over a random engine subset, the reserved windows on
+    /// each engine are pairwise disjoint.
+    #[test]
+    fn reservations_never_overlap(
+        ops in proptest::collection::vec(
+            (proptest::collection::btree_set(0usize..6, 1..4), 0.0f64..10.0, 1e-6f64..5.0),
+            1..60
+        )
+    ) {
+        let mut pool = EnginePool::new();
+        let engines: Vec<_> = (0..6).map(|i| pool.add(format!("e{i}"))).collect();
+        let mut windows: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 6];
+        for (subset, earliest, dur) in ops {
+            let ids: Vec<_> = subset.iter().map(|&i| engines[i]).collect();
+            let r = pool.reserve(&ids, SimTime::new(earliest), Duration::new(dur));
+            prop_assert!(r.start >= SimTime::new(earliest));
+            prop_assert!((r.end.seconds() - r.start.seconds() - dur).abs() < 1e-9);
+            for &i in &subset {
+                windows[i].push((r.start.seconds(), r.end.seconds()));
+            }
+        }
+        for w in &mut windows {
+            w.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for pair in w.windows(2) {
+                prop_assert!(pair[0].1 <= pair[1].0 + 1e-9,
+                    "overlapping reservations: {:?}", pair);
+            }
+        }
+    }
+
+    /// Busy-time accounting equals the sum of requested durations.
+    #[test]
+    fn busy_accounting_is_exact(durs in proptest::collection::vec(1e-6f64..2.0, 1..50)) {
+        let mut pool = EnginePool::new();
+        let e = pool.add("only");
+        let mut total = 0.0;
+        for d in &durs {
+            pool.reserve(&[e], SimTime::ZERO, Duration::new(*d));
+            total += d;
+        }
+        prop_assert!((pool.busy_total(e).seconds() - total).abs() < 1e-6);
+        prop_assert_eq!(pool.ops(e), durs.len() as u64);
+        // With all ops requested at t=0, a single engine back-to-back
+        // schedule means free_at == total busy time.
+        prop_assert!((pool.free_at(e).seconds() - total).abs() < 1e-6);
+    }
+}
+
+/// Two identical simulations produce identical pop sequences (determinism).
+#[test]
+fn determinism_same_inputs_same_order() {
+    let build = || {
+        let mut clock: Clock<u32> = Clock::new();
+        for i in 0..1000u32 {
+            // Lots of ties on purpose.
+            clock.schedule(SimTime::new(f64::from(i % 7)), i);
+        }
+        let mut order = Vec::new();
+        while let Some((_, e)) = clock.next() {
+            order.push(e);
+        }
+        order
+    };
+    assert_eq!(build(), build());
+}

@@ -1,0 +1,226 @@
+//! Builders for alternative topologies used by tests, examples and the
+//! "portability to other architectures" discussion of the paper (§V).
+
+use crate::link::{bw, LinkClass};
+use crate::topology::{LinkSpec, Topology};
+
+fn local() -> LinkSpec {
+    LinkSpec::new(LinkClass::Local, bw::DEVICE_MEMORY)
+}
+
+/// A node whose GPUs only communicate through PCIe (no NVLink at all) —
+/// the worst case for the topology-aware heuristic (every source is rank 0),
+/// the best case for the optimistic heuristic (every host re-read hurts).
+pub fn pcie_only(n_gpus: usize) -> Topology {
+    assert!(n_gpus >= 1);
+    let pcie = LinkSpec::new(LinkClass::Pcie, bw::PCIE_P2P);
+    let mut gg = vec![pcie; n_gpus * n_gpus];
+    for i in 0..n_gpus {
+        gg[i * n_gpus + i] = local();
+    }
+    let host = LinkSpec::new(LinkClass::Pcie, bw::PCIE_HOST);
+    // Two GPUs per switch, switches split over two sockets.
+    let n_switches = n_gpus.div_ceil(2);
+    let gpu_switch = (0..n_gpus).map(|g| g / 2).collect();
+    let switch_socket = (0..n_switches).map(|s| s % 2).collect();
+    Topology::from_tables(
+        format!("pcie-only-{n_gpus}"),
+        n_gpus,
+        gg,
+        vec![host; n_gpus],
+        gpu_switch,
+        switch_socket,
+    )
+}
+
+/// A hypothetical node where every GPU pair has a double NVLink (NVSwitch /
+/// DGX-2 style all-to-all). Topology-aware source selection is irrelevant
+/// here because every peer has the same rank.
+pub fn nvlink_all_to_all(n_gpus: usize) -> Topology {
+    assert!(n_gpus >= 1);
+    let nv2 = LinkSpec::new(LinkClass::NvLink2, bw::NVLINK2);
+    let mut gg = vec![nv2; n_gpus * n_gpus];
+    for i in 0..n_gpus {
+        gg[i * n_gpus + i] = local();
+    }
+    let host = LinkSpec::new(LinkClass::Pcie, bw::PCIE_HOST);
+    let n_switches = n_gpus.div_ceil(2);
+    Topology::from_tables(
+        format!("nvswitch-{n_gpus}"),
+        n_gpus,
+        gg,
+        vec![host; n_gpus],
+        (0..n_gpus).map(|g| g / 2).collect(),
+        (0..n_switches).map(|s| s % 2).collect(),
+    )
+}
+
+/// A Summit/Sierra-style node: 6 GPUs, 3 per POWER9 socket; GPUs of a socket
+/// are all-to-all NVLink2; cross-socket GPU traffic goes through the X-bus
+/// (modelled as PCIe-class); the host links are NVLink (~50 GB/s), so —
+/// as §III-C of the paper predicts — the optimistic device-to-device
+/// heuristic should bring little benefit here.
+pub fn summit_node() -> Topology {
+    let n = 6;
+    let pcie = LinkSpec::new(LinkClass::Pcie, bw::PCIE_P2P);
+    let nv2 = LinkSpec::new(LinkClass::NvLink2, bw::NVLINK2);
+    let mut gg = vec![pcie; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                gg[i * n + j] = local();
+            } else if i / 3 == j / 3 {
+                gg[i * n + j] = nv2;
+            }
+        }
+    }
+    let host = LinkSpec::new(LinkClass::NvLinkHost, bw::NVLINK_HOST);
+    Topology::from_tables(
+        "summit-node",
+        n,
+        gg,
+        vec![host; n],
+        vec![0, 0, 0, 1, 1, 1],
+        vec![0, 1],
+    )
+}
+
+/// A unidirectional-ring-like topology: GPU `i` has a double NVLink to
+/// `(i+1) % n` and a single NVLink to `(i+2) % n`; everything else is PCIe.
+/// Useful to stress source selection with heterogeneous ranks on any `n`.
+pub fn nvlink_ring(n_gpus: usize) -> Topology {
+    assert!(n_gpus >= 3, "ring needs at least 3 GPUs");
+    let pcie = LinkSpec::new(LinkClass::Pcie, bw::PCIE_P2P);
+    let nv2 = LinkSpec::new(LinkClass::NvLink2, bw::NVLINK2);
+    let nv1 = LinkSpec::new(LinkClass::NvLink1, bw::NVLINK1);
+    let mut gg = vec![pcie; n_gpus * n_gpus];
+    for i in 0..n_gpus {
+        gg[i * n_gpus + i] = local();
+    }
+    let mut set = |a: usize, b: usize, s: LinkSpec| {
+        gg[a * n_gpus + b] = s;
+        gg[b * n_gpus + a] = s;
+    };
+    for i in 0..n_gpus {
+        set(i, (i + 1) % n_gpus, nv2);
+    }
+    if n_gpus > 4 {
+        for i in 0..n_gpus {
+            set(i, (i + 2) % n_gpus, nv1);
+        }
+    }
+    let host = LinkSpec::new(LinkClass::Pcie, bw::PCIE_HOST);
+    let n_switches = n_gpus.div_ceil(2);
+    Topology::from_tables(
+        format!("ring-{n_gpus}"),
+        n_gpus,
+        gg,
+        vec![host; n_gpus],
+        (0..n_gpus).map(|g| g / 2).collect(),
+        (0..n_switches).map(|s| s % 2).collect(),
+    )
+}
+
+/// Builds a topology from a GPU↔GPU bandwidth matrix in GB/s, classifying
+/// each entry by thresholds (≥ 80 → NVLink2, ≥ 40 → NVLink1, else PCIe).
+/// This mirrors calibrating against a measured matrix like the paper's
+/// Fig. 2.
+pub fn from_bandwidth_matrix_gbs(name: impl Into<String>, matrix: &[Vec<f64>]) -> Topology {
+    let n = matrix.len();
+    assert!(n >= 1 && matrix.iter().all(|row| row.len() == n));
+    let mut gg = Vec::with_capacity(n * n);
+    for (i, row) in matrix.iter().enumerate() {
+        for (j, &gbs) in row.iter().enumerate() {
+            // Symmetrize to satisfy validation against measurement noise,
+            // then classify the symmetrized value.
+            let sym = 0.5 * (gbs + matrix[j][i]);
+            let class = if i == j {
+                LinkClass::Local
+            } else if sym >= 80.0 {
+                LinkClass::NvLink2
+            } else if sym >= 40.0 {
+                LinkClass::NvLink1
+            } else {
+                LinkClass::Pcie
+            };
+            gg.push(LinkSpec::new(class, sym * 1e9));
+        }
+    }
+    let host = LinkSpec::new(LinkClass::Pcie, bw::PCIE_HOST);
+    let n_switches = n.div_ceil(2);
+    Topology::from_tables(
+        name,
+        n,
+        gg,
+        vec![host; n],
+        (0..n).map(|g| g / 2).collect(),
+        (0..n_switches).map(|s| s % 2).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcie_only_has_no_nvlink() {
+        let t = pcie_only(4);
+        assert!(t.nvlink_edges().is_empty());
+        assert_eq!(t.n_gpus(), 4);
+        for a in 0..4 {
+            for b in 0..4 {
+                if a != b {
+                    assert_eq!(t.perf_rank(a, b), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_all_is_uniform_rank2() {
+        let t = nvlink_all_to_all(8);
+        for a in 0..8 {
+            for b in 0..8 {
+                if a != b {
+                    assert_eq!(t.perf_rank(a, b), 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn summit_host_links_are_nvlink() {
+        let t = summit_node();
+        assert_eq!(t.host_link(0).class, LinkClass::NvLinkHost);
+        assert_eq!(t.perf_rank(0, 1), 2); // same socket
+        assert_eq!(t.perf_rank(0, 3), 0); // cross socket
+        // Host NVLink routes have no shared PCIe segments.
+        let r = t.route(crate::topology::Device::Host, crate::topology::Device::Gpu(0));
+        assert!(r.segments.is_empty());
+    }
+
+    #[test]
+    fn ring_valid_for_various_sizes() {
+        for n in [3, 4, 5, 8, 12] {
+            let t = nvlink_ring(n);
+            t.validate().unwrap();
+            assert_eq!(t.perf_rank(0, 1), 2);
+        }
+        // Ring of 8: neighbors at distance 2 get single links.
+        let t = nvlink_ring(8);
+        assert_eq!(t.perf_rank(0, 2), 1);
+        assert_eq!(t.perf_rank(0, 4), 0);
+    }
+
+    #[test]
+    fn from_matrix_round_trips_dgx1_classes() {
+        let d = crate::dgx1();
+        let m = d.bandwidth_matrix_gbs();
+        let t = from_bandwidth_matrix_gbs("rebuilt", &m);
+        for a in 0..8 {
+            for b in 0..8 {
+                assert_eq!(t.perf_rank(a, b), d.perf_rank(a, b), "pair {a},{b}");
+            }
+        }
+    }
+}

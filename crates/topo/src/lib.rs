@@ -1,0 +1,42 @@
+//! # xk-topo — multi-GPU interconnect topologies
+//!
+//! Models the communication fabric of a multi-GPU node: NVLink bricks (one
+//! or two bonded), PCIe switches with shared host uplinks, and the
+//! inter-socket link. The star of the show is [`dgx1`], the exact NVIDIA
+//! DGX-1 hybrid cube mesh of the paper (Fig. 1/Fig. 2), but custom
+//! topologies can be built from a bandwidth matrix or with the builders in
+//! [`builders`].
+//!
+//! Two queries drive the paper's heuristics:
+//!
+//! * [`Topology::perf_rank`] — the P2P performance rank between two GPUs,
+//!   the model of `cuDeviceGetP2PAttribute` that the topology-aware source
+//!   selection consumes.
+//! * [`Topology::route`] — the end-to-end bandwidth/latency of a transfer
+//!   plus the *shared bus segments* it crosses, which the simulated
+//!   executor turns into engine reservations so that PCIe contention is
+//!   physical, not statistical.
+//!
+//! ```
+//! use xk_topo::{dgx1, Device};
+//!
+//! let t = dgx1();
+//! // GPU0-GPU3 have a double NVLink: the preferred source for GPU3.
+//! assert_eq!(t.perf_rank(0, 3), 2);
+//! // Host->GPU crosses the GPU's PCIe switch uplink (shared by two GPUs).
+//! let route = t.route(Device::Host, Device::Gpu(0));
+//! assert_eq!(route.segments.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builders;
+mod dgx1;
+mod link;
+mod topology;
+
+pub use dgx1::{
+    dgx1, DGX1_GPU_MEMORY, DGX1_NVLINK1_EDGES, DGX1_NVLINK2_EDGES, DGX1_TABLE1, V100_PEAK_DP,
+};
+pub use link::{bw, lat, LinkClass};
+pub use topology::{BusSegment, Device, LinkSpec, Route, Topology};

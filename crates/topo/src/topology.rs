@@ -1,0 +1,410 @@
+//! The platform topology model: devices, links, routes and shared bus
+//! segments.
+
+use serde::{Deserialize, Serialize};
+
+use crate::link::{lat, LinkClass};
+
+/// A processing/memory resource of the platform.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Device {
+    /// Host CPUs + main memory (a single memory node in this model).
+    Host,
+    /// GPU with the given index.
+    Gpu(usize),
+}
+
+impl Device {
+    /// GPU index, if this is a GPU.
+    pub fn gpu_index(self) -> Option<usize> {
+        match self {
+            Device::Gpu(i) => Some(i),
+            Device::Host => None,
+        }
+    }
+
+    /// True for [`Device::Host`].
+    pub fn is_host(self) -> bool {
+        matches!(self, Device::Host)
+    }
+}
+
+impl std::fmt::Display for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Device::Host => write!(f, "host"),
+            Device::Gpu(i) => write!(f, "gpu{i}"),
+        }
+    }
+}
+
+/// A shared bus resource that a route may cross.
+///
+/// Transfers whose routes cross the same segment contend for it (the
+/// simulated executors map each segment to an [`xk_sim`] engine). NVLink
+/// bricks are *not* segments: they are dedicated point-to-point and already
+/// serialized by the per-device copy engines.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BusSegment {
+    /// The x16 uplink between PCIe switch `sw` and its root complex. On a
+    /// DGX-1 two GPUs hang off each switch, so their host traffic shares it.
+    HostUplink(usize),
+    /// The inter-socket link (QPI on the DGX-1's Xeons).
+    InterSocket,
+}
+
+/// Physical characteristics of one point-to-point link.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Link classification (drives the heuristic's performance rank).
+    pub class: LinkClass,
+    /// Sustained bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// One-way latency in seconds.
+    pub latency: f64,
+}
+
+impl LinkSpec {
+    /// Convenience constructor with the default latency of the class.
+    pub fn new(class: LinkClass, bandwidth: f64) -> Self {
+        let latency = match class {
+            LinkClass::Pcie => lat::PCIE,
+            LinkClass::Local => lat::LOCAL,
+            _ => lat::NVLINK,
+        };
+        LinkSpec {
+            class,
+            bandwidth,
+            latency,
+        }
+    }
+}
+
+/// A resolved route between two devices.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Route {
+    /// Classification of the route (that of its weakest hop).
+    pub class: LinkClass,
+    /// Sustained end-to-end bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// End-to-end latency in seconds.
+    pub latency: f64,
+    /// Shared bus segments crossed, in canonical order, deduplicated.
+    pub segments: Vec<BusSegment>,
+}
+
+impl Route {
+    /// Time in seconds to move `bytes` over this route, ignoring contention
+    /// (contention is resolved by the executor's engine reservations).
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+}
+
+/// A complete multi-GPU node description.
+///
+/// Construct one with the builders in [`crate::builders`] or
+/// [`crate::dgx1()`], or deserialize a custom one; [`Topology::validate`]
+/// checks internal consistency.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Topology {
+    name: String,
+    n_gpus: usize,
+    /// `n_gpus × n_gpus`, row-major; diagonal entries are `Local`.
+    gpu_gpu: Vec<LinkSpec>,
+    /// Host link per GPU.
+    host_gpu: Vec<LinkSpec>,
+    /// PCIe switch per GPU.
+    gpu_switch: Vec<usize>,
+    /// Socket per PCIe switch.
+    switch_socket: Vec<usize>,
+}
+
+impl Topology {
+    /// Builds a topology from its raw tables. Prefer the named builders.
+    ///
+    /// # Panics
+    /// Panics if the tables are inconsistent (see [`Topology::validate`]).
+    pub fn from_tables(
+        name: impl Into<String>,
+        n_gpus: usize,
+        gpu_gpu: Vec<LinkSpec>,
+        host_gpu: Vec<LinkSpec>,
+        gpu_switch: Vec<usize>,
+        switch_socket: Vec<usize>,
+    ) -> Self {
+        let t = Topology {
+            name: name.into(),
+            n_gpus,
+            gpu_gpu,
+            host_gpu,
+            gpu_switch,
+            switch_socket,
+        };
+        t.validate().expect("inconsistent topology tables");
+        t
+    }
+
+    /// Checks internal consistency: table sizes, symmetric GPU↔GPU links,
+    /// `Local` diagonal, and valid switch/socket indices.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.n_gpus;
+        if self.gpu_gpu.len() != n * n {
+            return Err(format!("gpu_gpu has {} entries, want {}", self.gpu_gpu.len(), n * n));
+        }
+        if self.host_gpu.len() != n {
+            return Err(format!("host_gpu has {} entries, want {n}", self.host_gpu.len()));
+        }
+        if self.gpu_switch.len() != n {
+            return Err(format!("gpu_switch has {} entries, want {n}", self.gpu_switch.len()));
+        }
+        for (i, &sw) in self.gpu_switch.iter().enumerate() {
+            if sw >= self.switch_socket.len() {
+                return Err(format!("gpu{i} references unknown switch {sw}"));
+            }
+        }
+        for i in 0..n {
+            let d = &self.gpu_gpu[i * n + i];
+            if d.class != LinkClass::Local {
+                return Err(format!("diagonal entry for gpu{i} is {:?}, want Local", d.class));
+            }
+            for j in 0..n {
+                let a = &self.gpu_gpu[i * n + j];
+                let b = &self.gpu_gpu[j * n + i];
+                if a.class != b.class {
+                    return Err(format!("asymmetric link class between gpu{i} and gpu{j}"));
+                }
+                if (a.bandwidth - b.bandwidth).abs() > 1e-3 {
+                    return Err(format!("asymmetric bandwidth between gpu{i} and gpu{j}"));
+                }
+                if !(a.bandwidth.is_finite() && a.bandwidth > 0.0) {
+                    return Err(format!("non-positive bandwidth between gpu{i} and gpu{j}"));
+                }
+            }
+        }
+        for (i, h) in self.host_gpu.iter().enumerate() {
+            if !(h.bandwidth.is_finite() && h.bandwidth > 0.0) {
+                return Err(format!("non-positive host bandwidth for gpu{i}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Topology display name (e.g. `"dgx1"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of GPUs.
+    pub fn n_gpus(&self) -> usize {
+        self.n_gpus
+    }
+
+    /// Number of PCIe switches.
+    pub fn n_switches(&self) -> usize {
+        self.switch_socket.len()
+    }
+
+    /// PCIe switch hosting `gpu`.
+    pub fn switch_of(&self, gpu: usize) -> usize {
+        self.gpu_switch[gpu]
+    }
+
+    /// Socket hosting `gpu` (through its PCIe switch).
+    pub fn socket_of(&self, gpu: usize) -> usize {
+        self.switch_socket[self.gpu_switch[gpu]]
+    }
+
+    /// Raw GPU↔GPU link spec.
+    pub fn gpu_link(&self, a: usize, b: usize) -> &LinkSpec {
+        &self.gpu_gpu[a * self.n_gpus + b]
+    }
+
+    /// Raw host↔GPU link spec.
+    pub fn host_link(&self, gpu: usize) -> &LinkSpec {
+        &self.host_gpu[gpu]
+    }
+
+    /// The peer-to-peer performance rank between two GPUs, as the paper's
+    /// heuristic reads it from `cuDeviceGetP2PAttribute`. Higher is better.
+    pub fn perf_rank(&self, a: usize, b: usize) -> u8 {
+        self.gpu_link(a, b).class.perf_rank()
+    }
+
+    /// Resolves the route between two devices.
+    ///
+    /// * GPU↔GPU over NVLink: the dedicated link, no shared segments.
+    /// * GPU↔GPU over PCIe: bandwidth of the P2P PCIe path; crosses the host
+    ///   uplinks of both switches and, across sockets, the inter-socket link.
+    /// * Host↔GPU over PCIe: crosses the GPU's switch uplink.
+    /// * Host↔GPU over host NVLink (POWER9-style): dedicated, no segments.
+    /// * Same device: local copy.
+    pub fn route(&self, src: Device, dst: Device) -> Route {
+        match (src, dst) {
+            (Device::Host, Device::Host) => Route {
+                class: LinkClass::Local,
+                bandwidth: crate::link::bw::DEVICE_MEMORY,
+                latency: lat::LOCAL,
+                segments: Vec::new(),
+            },
+            (Device::Gpu(a), Device::Gpu(b)) if a == b => {
+                let spec = self.gpu_link(a, a);
+                Route {
+                    class: LinkClass::Local,
+                    bandwidth: spec.bandwidth,
+                    latency: spec.latency,
+                    segments: Vec::new(),
+                }
+            }
+            (Device::Gpu(a), Device::Gpu(b)) => {
+                let spec = self.gpu_link(a, b);
+                let segments = if spec.class == LinkClass::Pcie {
+                    self.pcie_p2p_segments(a, b)
+                } else {
+                    Vec::new()
+                };
+                Route {
+                    class: spec.class,
+                    bandwidth: spec.bandwidth,
+                    latency: spec.latency,
+                    segments,
+                }
+            }
+            (Device::Host, Device::Gpu(g)) | (Device::Gpu(g), Device::Host) => {
+                let spec = self.host_link(g);
+                let segments = if spec.class == LinkClass::Pcie {
+                    vec![BusSegment::HostUplink(self.gpu_switch[g])]
+                } else {
+                    Vec::new()
+                };
+                Route {
+                    class: spec.class,
+                    bandwidth: spec.bandwidth,
+                    latency: spec.latency,
+                    segments,
+                }
+            }
+        }
+    }
+
+    fn pcie_p2p_segments(&self, a: usize, b: usize) -> Vec<BusSegment> {
+        let (sa, sb) = (self.gpu_switch[a], self.gpu_switch[b]);
+        let mut segs = Vec::with_capacity(3);
+        if sa == sb {
+            // Peer traffic can stay inside the switch but still shares its
+            // internal fabric with host traffic of that switch.
+            segs.push(BusSegment::HostUplink(sa));
+        } else {
+            segs.push(BusSegment::HostUplink(sa.min(sb)));
+            segs.push(BusSegment::HostUplink(sa.max(sb)));
+            if self.switch_socket[sa] != self.switch_socket[sb] {
+                segs.push(BusSegment::InterSocket);
+            }
+        }
+        segs
+    }
+
+    /// Analytic GPU↔GPU bandwidth matrix in GB/s (the model's version of the
+    /// paper's Fig. 2, before any contention).
+    pub fn bandwidth_matrix_gbs(&self) -> Vec<Vec<f64>> {
+        let n = self.n_gpus;
+        (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| self.gpu_link(i, j).bandwidth / 1e9)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// All GPU pairs `(a, b)` with `a < b` connected by at least one NVLink.
+    pub fn nvlink_edges(&self) -> Vec<(usize, usize, LinkClass)> {
+        let mut edges = Vec::new();
+        for a in 0..self.n_gpus {
+            for b in a + 1..self.n_gpus {
+                let c = self.gpu_link(a, b).class;
+                if matches!(c, LinkClass::NvLink1 | LinkClass::NvLink2) {
+                    edges.push((a, b, c));
+                }
+            }
+        }
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::bw;
+
+    fn tiny() -> Topology {
+        // 2 GPUs on one switch, NVLink2 between them.
+        let local = LinkSpec::new(LinkClass::Local, bw::DEVICE_MEMORY);
+        let nv2 = LinkSpec::new(LinkClass::NvLink2, bw::NVLINK2);
+        let host = LinkSpec::new(LinkClass::Pcie, bw::PCIE_HOST);
+        Topology::from_tables(
+            "tiny",
+            2,
+            vec![local, nv2, nv2, local],
+            vec![host, host],
+            vec![0, 0],
+            vec![0],
+        )
+    }
+
+    #[test]
+    fn nvlink_route_has_no_segments() {
+        let t = tiny();
+        let r = t.route(Device::Gpu(0), Device::Gpu(1));
+        assert_eq!(r.class, LinkClass::NvLink2);
+        assert!(r.segments.is_empty());
+        assert!((r.bandwidth - bw::NVLINK2).abs() < 1.0);
+    }
+
+    #[test]
+    fn host_route_crosses_uplink() {
+        let t = tiny();
+        let r = t.route(Device::Host, Device::Gpu(1));
+        assert_eq!(r.class, LinkClass::Pcie);
+        assert_eq!(r.segments, vec![BusSegment::HostUplink(0)]);
+    }
+
+    #[test]
+    fn local_route() {
+        let t = tiny();
+        let r = t.route(Device::Gpu(0), Device::Gpu(0));
+        assert_eq!(r.class, LinkClass::Local);
+        assert!(r.segments.is_empty());
+    }
+
+    #[test]
+    fn transfer_time_includes_latency() {
+        let t = tiny();
+        let r = t.route(Device::Host, Device::Gpu(0));
+        let time = r.transfer_time(16_000_000);
+        assert!((time - (lat::PCIE + 16e6 / bw::PCIE_HOST)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_rejects_asymmetry() {
+        let local = LinkSpec::new(LinkClass::Local, bw::DEVICE_MEMORY);
+        let nv2 = LinkSpec::new(LinkClass::NvLink2, bw::NVLINK2);
+        let nv1 = LinkSpec::new(LinkClass::NvLink1, bw::NVLINK1);
+        let host = LinkSpec::new(LinkClass::Pcie, bw::PCIE_HOST);
+        let t = Topology {
+            name: "bad".into(),
+            n_gpus: 2,
+            gpu_gpu: vec![local, nv2, nv1, local],
+            host_gpu: vec![host, host],
+            gpu_switch: vec![0, 0],
+            switch_socket: vec![0],
+        };
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn perf_rank_reads_link_class() {
+        let t = tiny();
+        assert_eq!(t.perf_rank(0, 1), 2);
+    }
+}

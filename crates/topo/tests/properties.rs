@@ -1,0 +1,100 @@
+//! Property-based and serde round-trip tests for topologies.
+
+use proptest::prelude::*;
+use xk_topo::{builders, dgx1, Device, Topology};
+
+fn arb_matrix(n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(5.0f64..120.0, n), n).prop_map(
+        move |mut m| {
+            for i in 0..n {
+                m[i][i] = 700.0;
+            }
+            m
+        },
+    )
+}
+
+proptest! {
+    /// Topologies built from arbitrary bandwidth matrices validate and have
+    /// symmetric perf ranks and routes.
+    #[test]
+    fn matrix_built_topologies_are_symmetric(m in (2usize..8).prop_flat_map(arb_matrix)) {
+        let n = m.len();
+        let t = builders::from_bandwidth_matrix_gbs("arb", &m);
+        t.validate().unwrap();
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(t.perf_rank(a, b), t.perf_rank(b, a));
+                let r1 = t.route(Device::Gpu(a), Device::Gpu(b));
+                let r2 = t.route(Device::Gpu(b), Device::Gpu(a));
+                prop_assert_eq!(r1.class, r2.class);
+                prop_assert!((r1.bandwidth - r2.bandwidth).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// Every route has strictly positive bandwidth, and transfer time is
+    /// monotone in the byte count.
+    #[test]
+    fn transfer_time_monotone(bytes1 in 1u64..1u64<<30, bytes2 in 1u64..1u64<<30) {
+        let t = dgx1();
+        let (lo, hi) = if bytes1 <= bytes2 { (bytes1, bytes2) } else { (bytes2, bytes1) };
+        for a in 0..8usize {
+            for b in 0..8usize {
+                let r = t.route(Device::Gpu(a), Device::Gpu(b));
+                prop_assert!(r.bandwidth > 0.0);
+                prop_assert!(r.transfer_time(lo) <= r.transfer_time(hi));
+            }
+        }
+    }
+}
+
+#[test]
+fn serde_round_trip_preserves_routes() {
+    let t = dgx1();
+    let json = serde_json::to_string(&t).unwrap();
+    let back: Topology = serde_json::from_str(&json).unwrap();
+    back.validate().unwrap();
+    for a in 0..8 {
+        for b in 0..8 {
+            assert_eq!(
+                t.route(Device::Gpu(a), Device::Gpu(b)),
+                back.route(Device::Gpu(a), Device::Gpu(b))
+            );
+        }
+    }
+    assert_eq!(t.name(), back.name());
+}
+
+#[test]
+fn dgx1_fig2_full_matrix_classes() {
+    // The full class pattern of Fig. 2: 8 green (96) cells per triangle,
+    // 8 orange (48), the rest PCIe.
+    let t = dgx1();
+    let mut nv2 = 0;
+    let mut nv1 = 0;
+    let mut pcie = 0;
+    for a in 0..8 {
+        for b in a + 1..8 {
+            match t.perf_rank(a, b) {
+                2 => nv2 += 1,
+                1 => nv1 += 1,
+                0 => pcie += 1,
+                _ => unreachable!(),
+            }
+        }
+    }
+    assert_eq!((nv2, nv1, pcie), (8, 8, 12));
+}
+
+#[test]
+fn summit_vs_dgx1_host_bandwidth() {
+    // §III-C: on Summit the host links are fast NVLink, so host reads are
+    // much cheaper than on the DGX-1 — the premise for the optimistic
+    // heuristic mattering less there.
+    let d = dgx1();
+    let s = builders::summit_node();
+    let dr = d.route(Device::Host, Device::Gpu(0));
+    let sr = s.route(Device::Host, Device::Gpu(0));
+    assert!(sr.bandwidth > 2.0 * dr.bandwidth);
+}

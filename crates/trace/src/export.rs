@@ -1,0 +1,146 @@
+//! CSV / JSON export of traces and breakdowns.
+
+use std::fmt::Write as _;
+
+use crate::span::SpanKind;
+use crate::trace::Trace;
+
+/// Serializes the full trace to CSV
+/// (`place,lane,kind,start,end,bytes,label`).
+pub fn trace_to_csv(trace: &Trace) -> String {
+    let mut out = String::from("place,lane,kind,start,end,bytes,label\n");
+    for s in trace.spans() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.9},{:.9},{},{}",
+            s.place,
+            s.lane,
+            s.kind.label(),
+            s.start,
+            s.end,
+            s.bytes,
+            s.label.replace(',', ";")
+        );
+    }
+    out
+}
+
+/// Serializes the per-kind breakdown to CSV (`kind,seconds,share`).
+pub fn breakdown_to_csv(trace: &Trace) -> String {
+    let b = trace.breakdown();
+    let mut out = String::from("kind,seconds,share\n");
+    for (kind, share) in b.normalized() {
+        let _ = writeln!(out, "{},{:.9},{:.6}", kind.label(), b.get(kind), share);
+    }
+    out
+}
+
+/// Serializes the whole trace to JSON (via serde).
+pub fn trace_to_json(trace: &Trace) -> serde_json::Result<String> {
+    serde_json::to_string(trace)
+}
+
+/// Parses a trace back from JSON.
+pub fn trace_from_json(json: &str) -> serde_json::Result<Trace> {
+    serde_json::from_str(json)
+}
+
+/// Renders a per-device stacked table: one row per device, one column per
+/// span kind, seconds (the numbers behind Fig. 7).
+pub fn per_device_table(trace: &Trace) -> String {
+    let per = trace.breakdown_per_device();
+    let mut out = String::from("device");
+    for k in SpanKind::ALL {
+        let _ = write!(out, ",{}", k.label());
+    }
+    out.push('\n');
+    for (place, b) in per {
+        let _ = write!(out, "{place}");
+        for k in SpanKind::ALL {
+            let _ = write!(out, ",{:.6}", b.get(k));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Place, Span};
+
+    fn t() -> Trace {
+        let mut t = Trace::new();
+        t.push(Span {
+            place: Place::Gpu(0),
+            lane: 0,
+            kind: SpanKind::H2D,
+            start: 0.0,
+            end: 0.5,
+            bytes: 128,
+            label: "tile(0,0)".into(),
+        });
+        t.push(Span {
+            place: Place::Gpu(1),
+            lane: 2,
+            kind: SpanKind::Kernel,
+            start: 0.5,
+            end: 1.5,
+            bytes: 0,
+            label: "dgemm".into(),
+        });
+        t
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = trace_to_csv(&t());
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("place,lane,kind"));
+        assert!(csv.contains("gpu1,2,GPU Kernel"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let original = t();
+        let json = trace_to_json(&original).unwrap();
+        let back = trace_from_json(&json).unwrap();
+        assert_eq!(original.spans(), back.spans());
+    }
+
+    #[test]
+    fn breakdown_csv_shares_sum_to_one() {
+        let csv = breakdown_to_csv(&t());
+        let total: f64 = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.rsplit(',').next().unwrap().parse::<f64>().unwrap())
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_device_table_rows() {
+        let table = per_device_table(&t());
+        assert!(table.lines().count() >= 3);
+        assert!(table.contains("gpu0"));
+        assert!(table.contains("gpu1"));
+    }
+
+    #[test]
+    fn labels_with_commas_are_sanitized() {
+        let mut tr = Trace::new();
+        tr.push(Span {
+            place: Place::Gpu(0),
+            lane: 0,
+            kind: SpanKind::Kernel,
+            start: 0.0,
+            end: 1.0,
+            bytes: 0,
+            label: "a,b".into(),
+        });
+        let csv = trace_to_csv(&tr);
+        let data_line = csv.lines().nth(1).unwrap();
+        assert_eq!(data_line.matches(',').count(), 6);
+    }
+}

@@ -1,0 +1,36 @@
+//! # xk-trace — execution traces for simulated runs
+//!
+//! Every simulated executor in this workspace records a [`Span`] per engine
+//! operation (kernel, HtoD/DtoH/PtoP memcpy, host work). This crate holds
+//! the container plus the aggregations that regenerate the paper's trace
+//! figures:
+//!
+//! * [`Trace::breakdown`] — cumulated seconds per kind and the transfer
+//!   ratio of Fig. 6.
+//! * [`Trace::breakdown_per_device`] — the per-GPU stacked bars of Fig. 7.
+//! * [`gantt::render`] — the ASCII Gantt chart standing in for Fig. 9.
+//! * [`Trace::longest_global_gap`] — quantifies the synchronization holes
+//!   visible in Chameleon's composition Gantt.
+//!
+//! ```
+//! use xk_trace::{Trace, Span, SpanKind, Place};
+//!
+//! let mut trace = Trace::new();
+//! trace.push(Span { place: Place::Gpu(0), lane: 0, kind: SpanKind::H2D,
+//!                   start: 0.0, end: 0.1, bytes: 1 << 20, label: "A(0,0)".into() });
+//! trace.push(Span { place: Place::Gpu(0), lane: 1, kind: SpanKind::Kernel,
+//!                   start: 0.1, end: 0.5, bytes: 0, label: "dgemm".into() });
+//! assert!(trace.breakdown().transfer_ratio() < 0.5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod gantt;
+mod span;
+#[allow(clippy::module_inception)]
+mod trace;
+
+pub use gantt::GanttOptions;
+pub use span::{Place, Span, SpanKind};
+pub use trace::{Breakdown, Trace};

@@ -1,0 +1,126 @@
+//! Trace spans: one timed operation on one engine of one device.
+
+use serde::{Deserialize, Serialize};
+
+/// Category of a traced operation, matching the categories of the paper's
+/// nvprof-based figures (Fig. 6, 7, 9).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize, PartialOrd, Ord)]
+pub enum SpanKind {
+    /// `CUDA memcpy HtoD` — host to device transfer.
+    H2D,
+    /// `CUDA memcpy DtoH` — device to host transfer.
+    D2H,
+    /// `CUDA memcpy PtoP` — device to device transfer.
+    P2P,
+    /// `GPU Kernel` — compute kernel execution.
+    Kernel,
+    /// Host-side work (e.g. Chameleon's LAPACK↔tile layout conversion).
+    HostWork,
+}
+
+impl SpanKind {
+    /// Label used in reports, matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::H2D => "CUDA memcpy HtoD",
+            SpanKind::D2H => "CUDA memcpy DtoH",
+            SpanKind::P2P => "CUDA memcpy PtoP",
+            SpanKind::Kernel => "GPU Kernel",
+            SpanKind::HostWork => "Host work",
+        }
+    }
+
+    /// True for the three transfer kinds.
+    pub fn is_transfer(self) -> bool {
+        matches!(self, SpanKind::H2D | SpanKind::D2H | SpanKind::P2P)
+    }
+
+    /// All kinds, in report order.
+    pub const ALL: [SpanKind; 5] = [
+        SpanKind::D2H,
+        SpanKind::H2D,
+        SpanKind::P2P,
+        SpanKind::Kernel,
+        SpanKind::HostWork,
+    ];
+}
+
+/// Location of a span: which device, or the host.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize, PartialOrd, Ord)]
+pub enum Place {
+    /// Host CPU / main memory.
+    Host,
+    /// GPU with the given index.
+    Gpu(u32),
+}
+
+impl std::fmt::Display for Place {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Place::Host => write!(f, "host"),
+            Place::Gpu(i) => write!(f, "gpu{i}"),
+        }
+    }
+}
+
+/// One timed operation.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct Span {
+    /// Device the operation is attributed to. Transfers are attributed to
+    /// their *destination* device (as nvprof attributes memcpys to the
+    /// stream's device).
+    pub place: Place,
+    /// Engine lane within the device (e.g. `"h2d"`, `"kernel0"`), used to
+    /// group spans into Gantt rows.
+    pub lane: u8,
+    /// Operation category.
+    pub kind: SpanKind,
+    /// Start time, seconds.
+    pub start: f64,
+    /// End time, seconds.
+    pub end: f64,
+    /// Payload size for transfers, 0 for kernels.
+    pub bytes: u64,
+    /// Short description (kernel name, tile coordinates...).
+    pub label: String,
+}
+
+impl Span {
+    /// Span duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_labels_match_paper_legend() {
+        assert_eq!(SpanKind::H2D.label(), "CUDA memcpy HtoD");
+        assert_eq!(SpanKind::Kernel.label(), "GPU Kernel");
+        assert!(SpanKind::P2P.is_transfer());
+        assert!(!SpanKind::Kernel.is_transfer());
+    }
+
+    #[test]
+    fn duration_is_end_minus_start() {
+        let s = Span {
+            place: Place::Gpu(0),
+            lane: 0,
+            kind: SpanKind::Kernel,
+            start: 1.0,
+            end: 3.5,
+            bytes: 0,
+            label: "dgemm".into(),
+        };
+        assert!((s.duration() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn place_display() {
+        assert_eq!(Place::Host.to_string(), "host");
+        assert_eq!(Place::Gpu(3).to_string(), "gpu3");
+    }
+}

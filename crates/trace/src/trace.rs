@@ -1,0 +1,310 @@
+//! The trace container and its aggregations.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::span::{Place, Span, SpanKind};
+
+/// A complete execution trace: every engine operation of a simulated run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Trace {
+    spans: Vec<Span>,
+}
+
+/// Per-kind cumulated busy time, in seconds.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// Seconds per span kind.
+    pub by_kind: BTreeMap<SpanKind, f64>,
+}
+
+impl Breakdown {
+    /// Total seconds across all kinds.
+    pub fn total(&self) -> f64 {
+        self.by_kind.values().sum()
+    }
+
+    /// Seconds spent in transfers (H2D + D2H + P2P).
+    pub fn transfer(&self) -> f64 {
+        SpanKind::ALL
+            .iter()
+            .filter(|k| k.is_transfer())
+            .map(|k| self.by_kind.get(k).copied().unwrap_or(0.0))
+            .sum()
+    }
+
+    /// Fraction of total time spent in transfers, in `[0, 1]`
+    /// (the paper's Fig. 6 right-hand metric: XKBlas ≈ 25.4 %,
+    /// Chameleon Tile ≈ 41.2 % on GEMM N=32768).
+    pub fn transfer_ratio(&self) -> f64 {
+        let t = self.total();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.transfer() / t
+        }
+    }
+
+    /// Normalized share of each kind, in `[0, 1]`, report order.
+    pub fn normalized(&self) -> Vec<(SpanKind, f64)> {
+        let t = self.total();
+        SpanKind::ALL
+            .iter()
+            .map(|k| {
+                let v = self.by_kind.get(k).copied().unwrap_or(0.0);
+                (*k, if t <= 0.0 { 0.0 } else { v / t })
+            })
+            .collect()
+    }
+
+    /// Seconds recorded for one kind.
+    pub fn get(&self, kind: SpanKind) -> f64 {
+        self.by_kind.get(&kind).copied().unwrap_or(0.0)
+    }
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Records one span.
+    ///
+    /// # Panics
+    /// Panics if `end < start` (debug builds) — a negative-duration span is
+    /// always an executor bug.
+    pub fn push(&mut self, span: Span) {
+        debug_assert!(
+            span.end >= span.start,
+            "negative-duration span: {span:?}"
+        );
+        self.spans.push(span);
+    }
+
+    /// All recorded spans, unsorted.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Number of spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Latest end time over all spans (the makespan), 0 for empty traces.
+    pub fn makespan(&self) -> f64 {
+        self.spans.iter().map(|s| s.end).fold(0.0, f64::max)
+    }
+
+    /// Cumulated busy seconds per kind over the whole trace
+    /// (paper Fig. 6 left).
+    pub fn breakdown(&self) -> Breakdown {
+        let mut b = Breakdown::default();
+        for s in &self.spans {
+            *b.by_kind.entry(s.kind).or_insert(0.0) += s.duration();
+        }
+        b
+    }
+
+    /// Cumulated busy seconds per kind for each device (paper Fig. 7).
+    pub fn breakdown_per_device(&self) -> BTreeMap<Place, Breakdown> {
+        let mut out: BTreeMap<Place, Breakdown> = BTreeMap::new();
+        for s in &self.spans {
+            *out.entry(s.place)
+                .or_default()
+                .by_kind
+                .entry(s.kind)
+                .or_insert(0.0) += s.duration();
+        }
+        out
+    }
+
+    /// Total bytes moved, per transfer kind.
+    pub fn bytes_by_kind(&self) -> BTreeMap<SpanKind, u64> {
+        let mut out = BTreeMap::new();
+        for s in &self.spans {
+            if s.kind.is_transfer() {
+                *out.entry(s.kind).or_insert(0) += s.bytes;
+            }
+        }
+        out
+    }
+
+    /// Per-device kernel busy seconds — the load vector used for the
+    /// imbalance analysis of §IV-E.
+    pub fn kernel_load_per_gpu(&self, n_gpus: usize) -> Vec<f64> {
+        let mut loads = vec![0.0; n_gpus];
+        for s in &self.spans {
+            if s.kind == SpanKind::Kernel {
+                if let Place::Gpu(g) = s.place {
+                    if (g as usize) < n_gpus {
+                        loads[g as usize] += s.duration();
+                    }
+                }
+            }
+        }
+        loads
+    }
+
+    /// Spans of one device sorted by start time (Gantt input).
+    pub fn device_spans_sorted(&self, place: Place) -> Vec<&Span> {
+        let mut v: Vec<&Span> = self.spans.iter().filter(|s| s.place == place).collect();
+        v.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        v
+    }
+
+    /// The longest gap with *no* span active anywhere, within `[0, makespan]`.
+    /// The composition analysis (Fig. 9) uses this: XKBlas keeps GPUs busy
+    /// across routine calls while Chameleon shows synchronization gaps.
+    pub fn longest_global_gap(&self) -> f64 {
+        if self.spans.is_empty() {
+            return 0.0;
+        }
+        let mut intervals: Vec<(f64, f64)> =
+            self.spans.iter().map(|s| (s.start, s.end)).collect();
+        intervals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut gap: f64 = 0.0;
+        let mut covered_until = intervals[0].0; // gap before first span ignored
+        for (s, e) in intervals {
+            if s > covered_until {
+                gap = gap.max(s - covered_until);
+            }
+            covered_until = covered_until.max(e);
+        }
+        gap
+    }
+
+    /// The longest interval with no *kernel* running on any device, within
+    /// the span of kernel activity — the measure of the synchronization
+    /// holes in the composition Gantt (Fig. 9): during Chameleon's
+    /// inter-call redistribution every GPU computes nothing.
+    pub fn longest_kernel_gap(&self) -> f64 {
+        let mut intervals: Vec<(f64, f64)> = self
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Kernel)
+            .map(|s| (s.start, s.end))
+            .collect();
+        if intervals.is_empty() {
+            return 0.0;
+        }
+        intervals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut gap: f64 = 0.0;
+        let mut covered_until = intervals[0].0;
+        for (s, e) in intervals {
+            if s > covered_until {
+                gap = gap.max(s - covered_until);
+            }
+            covered_until = covered_until.max(e);
+        }
+        gap
+    }
+
+    /// Merges another trace into this one (used when composing calls).
+    pub fn extend(&mut self, other: Trace) {
+        self.spans.extend(other.spans);
+    }
+
+    /// Shifts every span by `dt` seconds (sequencing synchronous calls,
+    /// e.g. Chameleon's back-to-back TRSM + GEMM in Fig. 9).
+    pub fn shift(&mut self, dt: f64) {
+        for s in &mut self.spans {
+            s.start += dt;
+            s.end += dt;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(place: Place, kind: SpanKind, start: f64, end: f64) -> Span {
+        Span {
+            place,
+            lane: 0,
+            kind,
+            start,
+            end,
+            bytes: if kind.is_transfer() { 100 } else { 0 },
+            label: String::new(),
+        }
+    }
+
+    #[test]
+    fn breakdown_accumulates_by_kind() {
+        let mut t = Trace::new();
+        t.push(span(Place::Gpu(0), SpanKind::H2D, 0.0, 1.0));
+        t.push(span(Place::Gpu(0), SpanKind::H2D, 1.0, 3.0));
+        t.push(span(Place::Gpu(1), SpanKind::Kernel, 0.0, 4.0));
+        let b = t.breakdown();
+        assert!((b.get(SpanKind::H2D) - 3.0).abs() < 1e-12);
+        assert!((b.get(SpanKind::Kernel) - 4.0).abs() < 1e-12);
+        assert!((b.total() - 7.0).abs() < 1e-12);
+        assert!((b.transfer_ratio() - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_device_breakdown_splits() {
+        let mut t = Trace::new();
+        t.push(span(Place::Gpu(0), SpanKind::Kernel, 0.0, 1.0));
+        t.push(span(Place::Gpu(1), SpanKind::Kernel, 0.0, 2.0));
+        let per = t.breakdown_per_device();
+        assert_eq!(per.len(), 2);
+        assert!((per[&Place::Gpu(1)].get(SpanKind::Kernel) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_and_loads() {
+        let mut t = Trace::new();
+        t.push(span(Place::Gpu(0), SpanKind::Kernel, 0.0, 1.0));
+        t.push(span(Place::Gpu(1), SpanKind::Kernel, 2.0, 5.0));
+        assert!((t.makespan() - 5.0).abs() < 1e-12);
+        let loads = t.kernel_load_per_gpu(2);
+        assert!((loads[0] - 1.0).abs() < 1e-12);
+        assert!((loads[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn longest_gap_detects_sync_holes() {
+        let mut t = Trace::new();
+        t.push(span(Place::Gpu(0), SpanKind::Kernel, 0.0, 1.0));
+        t.push(span(Place::Gpu(1), SpanKind::Kernel, 0.5, 1.2));
+        t.push(span(Place::Gpu(0), SpanKind::Kernel, 3.0, 4.0));
+        assert!((t.longest_global_gap() - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gap_is_zero_when_dense() {
+        let mut t = Trace::new();
+        t.push(span(Place::Gpu(0), SpanKind::Kernel, 0.0, 2.0));
+        t.push(span(Place::Gpu(1), SpanKind::Kernel, 1.0, 3.0));
+        assert_eq!(t.longest_global_gap(), 0.0);
+    }
+
+    #[test]
+    fn normalized_shares_sum_to_one() {
+        let mut t = Trace::new();
+        t.push(span(Place::Gpu(0), SpanKind::H2D, 0.0, 1.0));
+        t.push(span(Place::Gpu(0), SpanKind::Kernel, 0.0, 3.0));
+        let shares = t.breakdown().normalized();
+        let sum: f64 = shares.iter().map(|(_, v)| v).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let t = Trace::new();
+        assert_eq!(t.makespan(), 0.0);
+        assert_eq!(t.longest_global_gap(), 0.0);
+        assert_eq!(t.breakdown().transfer_ratio(), 0.0);
+        assert!(t.is_empty());
+    }
+}
