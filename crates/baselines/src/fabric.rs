@@ -102,6 +102,7 @@ impl Fabric {
             SpanKind::P2P => self.bytes.2 += bytes,
             _ => {}
         }
+        let label = self.trace.intern(label);
         self.trace.push(Span {
             place,
             lane,
@@ -109,7 +110,7 @@ impl Fabric {
             start: res.start.seconds(),
             end: res.end.seconds(),
             bytes,
-            label: label.to_string(),
+            label,
         });
         res
     }
@@ -125,6 +126,7 @@ impl Fabric {
     ) -> Reservation {
         let s = self.streams[gpu][stream % self.streams[gpu].len()];
         let res = self.pool.reserve(&[s], earliest, Duration::new(seconds));
+        let label = self.trace.intern(label);
         self.trace.push(Span {
             place: Place::Gpu(gpu as u32),
             lane: (3 + stream % self.streams[gpu].len()) as u8,
@@ -132,7 +134,7 @@ impl Fabric {
             start: res.start.seconds(),
             end: res.end.seconds(),
             bytes: 0,
-            label: label.to_string(),
+            label,
         });
         res
     }

@@ -213,6 +213,8 @@ pub fn run(lib: Library, topo: &Topology, params: &RunParams) -> Result<RunResul
                 // Make the staging phases visible in the trace (Fig. 6).
                 let compute_end = r.seconds;
                 r.trace.shift(t_in);
+                let l_distribute = r.trace.intern("distribute");
+                let l_gather = r.trace.intern("gather");
                 for g in 0..topo.n_gpus() as u32 {
                     r.trace.push(xk_trace::Span {
                         place: xk_trace::Place::Gpu(g),
@@ -221,7 +223,7 @@ pub fn run(lib: Library, topo: &Topology, params: &RunParams) -> Result<RunResul
                         start: 0.0,
                         end: t_in,
                         bytes: 3 * (params.n * params.n) as u64 / topo.n_gpus() as u64,
-                        label: "distribute".into(),
+                        label: l_distribute,
                     });
                     r.trace.push(xk_trace::Span {
                         place: xk_trace::Place::Gpu(g),
@@ -230,7 +232,7 @@ pub fn run(lib: Library, topo: &Topology, params: &RunParams) -> Result<RunResul
                         start: t_in + compute_end,
                         end: t_in + compute_end + t_out,
                         bytes: (params.n * params.n) as u64 / topo.n_gpus() as u64,
-                        label: "gather".into(),
+                        label: l_gather,
                     });
                 }
                 r.seconds += t_in + t_out;

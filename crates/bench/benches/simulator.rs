@@ -1,7 +1,9 @@
-//! Discrete-event core throughput: event heap and engine reservations.
+//! Discrete-event core throughput: event heap, engine reservations and
+//! trace span recording.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use xk_sim::{Clock, Duration, EnginePool, SimTime};
+use xk_sim::{Clock, Duration, EnginePool, EventQueue, SimTime};
+use xk_trace::{Place, Span, SpanKind, Trace};
 
 fn bench_event_queue(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_queue");
@@ -21,6 +23,85 @@ fn bench_event_queue(c: &mut Criterion) {
                 count += 1;
             }
             assert_eq!(count, n);
+        });
+    });
+    let m = 1_000_000u64;
+    group.throughput(Throughput::Elements(m));
+    group.bench_function("push_pop_1m", |bench| {
+        bench.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::with_capacity(m as usize);
+            for i in 0..m {
+                let t = (i.wrapping_mul(2654435761) % 1_000_003) as f64 * 1e-6;
+                q.push(SimTime::new(t), i);
+            }
+            let mut count = 0;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            assert_eq!(count, m);
+        });
+    });
+    group.bench_function("push_batch_1m", |bench| {
+        bench.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            q.push_batch((0..m).map(|i| {
+                let t = (i.wrapping_mul(2654435761) % 1_000_003) as f64 * 1e-6;
+                (SimTime::new(t), i)
+            }));
+            let mut count = 0;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            assert_eq!(count, m);
+        });
+    });
+    group.finish();
+}
+
+fn bench_span_recording(c: &mut Criterion) {
+    let mut group = c.benchmark_group("span_recording");
+    group.sample_size(20);
+    let n = 100_000u64;
+    group.throughput(Throughput::Elements(n));
+    // 64 distinct labels cycled over n spans: the executor's situation,
+    // where each task label repeats across many recorded spans.
+    let labels: Vec<String> = (0..64).map(|i| format!("gemm[{},{}]", i / 8, i % 8)).collect();
+    group.bench_function("interned_labels", |bench| {
+        bench.iter(|| {
+            let mut trace = Trace::new();
+            let ids: Vec<_> = labels.iter().map(|l| trace.intern(l)).collect();
+            for i in 0..n {
+                trace.push(Span {
+                    place: Place::Gpu((i % 8) as u32),
+                    lane: 3,
+                    kind: SpanKind::Kernel,
+                    start: i as f64 * 1e-6,
+                    end: i as f64 * 1e-6 + 1e-6,
+                    bytes: 0,
+                    label: ids[(i % 64) as usize],
+                });
+            }
+            trace
+        });
+    });
+    group.bench_function("intern_per_span", |bench| {
+        // Re-interning the string on every span: the cost a caller pays
+        // when it does not hoist the intern out of its hot loop.
+        bench.iter(|| {
+            let mut trace = Trace::new();
+            for i in 0..n {
+                let label = trace.intern(&labels[(i % 64) as usize]);
+                trace.push(Span {
+                    place: Place::Gpu((i % 8) as u32),
+                    lane: 3,
+                    kind: SpanKind::Kernel,
+                    start: i as f64 * 1e-6,
+                    end: i as f64 * 1e-6 + 1e-6,
+                    bytes: 0,
+                    label,
+                });
+            }
+            trace
         });
     });
     group.finish();
@@ -47,5 +128,5 @@ fn bench_reservations(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_reservations);
+criterion_group!(benches, bench_event_queue, bench_span_recording, bench_reservations);
 criterion_main!(benches);

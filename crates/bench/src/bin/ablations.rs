@@ -1,7 +1,12 @@
 //! Ablations of the reproduction's own design choices (beyond the paper's
 //! Fig. 3): prefetch depth/policy, scheduler, task overhead — the knobs
 //! DESIGN.md calls out. Each sweep isolates one knob on DGEMM data-on-host.
+//!
+//! Every configuration simulates independently, so each knob sweep fans its
+//! values over the rayon pool; rows are collected in value order, so the
+//! printed tables are identical to the serial ones.
 
+use rayon::prelude::*;
 use xk_bench::Table;
 use xk_kernels::Routine;
 use xk_runtime::{RuntimeConfig, SchedulerKind};
@@ -30,11 +35,17 @@ fn main() {
     // launch-time fetching, where the window is the pipeline depth.
     {
         let mut t = Table::new(&["window", "TFlop/s"]);
-        for w in [1usize, 2, 4, 8, 16, 32] {
-            let mut cfg = RuntimeConfig::xkblas();
-            cfg.window = w;
-            cfg.prefetch_at_assign = false;
-            t.row(vec![w.to_string(), format!("{:.2}", run_with(cfg, n, tile))]);
+        let rows: Vec<Vec<String>> = [1usize, 2, 4, 8, 16, 32]
+            .par_iter()
+            .map(|&w| {
+                let mut cfg = RuntimeConfig::xkblas();
+                cfg.window = w;
+                cfg.prefetch_at_assign = false;
+                vec![w.to_string(), format!("{:.2}", run_with(cfg, n, tile))]
+            })
+            .collect();
+        for row in rows {
+            t.row(row);
         }
         println!("window depth (launch-time fetching)\n{}", t.render());
     }
@@ -42,10 +53,16 @@ fn main() {
     // (2) Prefetch at assignment vs at launch.
     {
         let mut t = Table::new(&["prefetch", "TFlop/s"]);
-        for (name, at_assign) in [("at assignment (XKaapi)", true), ("at launch (StarPU-like)", false)] {
-            let mut cfg = RuntimeConfig::xkblas();
-            cfg.prefetch_at_assign = at_assign;
-            t.row(vec![name.to_string(), format!("{:.2}", run_with(cfg, n, tile))]);
+        let rows: Vec<Vec<String>> = [("at assignment (XKaapi)", true), ("at launch (StarPU-like)", false)]
+            .par_iter()
+            .map(|&(name, at_assign)| {
+                let mut cfg = RuntimeConfig::xkblas();
+                cfg.prefetch_at_assign = at_assign;
+                vec![name.to_string(), format!("{:.2}", run_with(cfg, n, tile))]
+            })
+            .collect();
+        for row in rows {
+            t.row(row);
         }
         println!("prefetch policy\n{}", t.render());
     }
@@ -53,14 +70,20 @@ fn main() {
     // (3) Scheduler.
     {
         let mut t = Table::new(&["scheduler", "TFlop/s"]);
-        for (name, s) in [
+        let rows: Vec<Vec<String>> = [
             ("locality work stealing", SchedulerKind::LocalityWorkStealing),
             ("dmdas", SchedulerKind::Dmdas),
             ("static owner", SchedulerKind::StaticOwner),
             ("round robin", SchedulerKind::RoundRobin),
-        ] {
+        ]
+        .par_iter()
+        .map(|&(name, s)| {
             let cfg = RuntimeConfig::xkblas().with_scheduler(s);
-            t.row(vec![name.to_string(), format!("{:.2}", run_with(cfg, n, tile))]);
+            vec![name.to_string(), format!("{:.2}", run_with(cfg, n, tile))]
+        })
+        .collect();
+        for row in rows {
+            t.row(row);
         }
         println!("scheduler\n{}", t.render());
     }
@@ -70,10 +93,16 @@ fn main() {
     {
         let fine = tile / 4;
         let mut t = Table::new(&["task overhead", "TFlop/s"]);
-        for us in [0.0, 6.0, 20.0, 60.0, 200.0] {
-            let mut cfg = RuntimeConfig::xkblas();
-            cfg.task_overhead = us * 1e-6;
-            t.row(vec![format!("{us} us"), format!("{:.2}", run_with(cfg, n, fine))]);
+        let rows: Vec<Vec<String>> = [0.0f64, 6.0, 20.0, 60.0, 200.0]
+            .par_iter()
+            .map(|&us| {
+                let mut cfg = RuntimeConfig::xkblas();
+                cfg.task_overhead = us * 1e-6;
+                vec![format!("{us} us"), format!("{:.2}", run_with(cfg, n, fine))]
+            })
+            .collect();
+        for row in rows {
+            t.row(row);
         }
         println!("task creation/scheduling overhead (tile {fine})\n{}", t.render());
     }
@@ -82,13 +111,19 @@ fn main() {
     // the host (the PaRSEC-like configuration of DESIGN.md §6).
     {
         let mut t = Table::new(&["software cache", "TFlop/s"]);
-        for (name, cache) in [("inputs cached", true), ("inputs re-read per task", false)] {
-            let mut cfg = RuntimeConfig::xkblas();
-            cfg.heuristics = xk_runtime::Heuristics::host_only();
-            cfg.prefetch_at_assign = false;
-            cfg.window = 4;
-            cfg.cache_inputs = cache;
-            t.row(vec![name.to_string(), format!("{:.2}", run_with(cfg, n, tile))]);
+        let rows: Vec<Vec<String>> = [("inputs cached", true), ("inputs re-read per task", false)]
+            .par_iter()
+            .map(|&(name, cache)| {
+                let mut cfg = RuntimeConfig::xkblas();
+                cfg.heuristics = xk_runtime::Heuristics::host_only();
+                cfg.prefetch_at_assign = false;
+                cfg.window = 4;
+                cfg.cache_inputs = cache;
+                vec![name.to_string(), format!("{:.2}", run_with(cfg, n, tile))]
+            })
+            .collect();
+        for row in rows {
+            t.row(row);
         }
         println!("input caching (host-staged transfers)\n{}", t.render());
     }
@@ -96,10 +131,16 @@ fn main() {
     // (6) Eager flush-back.
     {
         let mut t = Table::new(&["write-back policy", "TFlop/s"]);
-        for (name, eager) in [("lazy (explicit coherency)", false), ("eager per final tile", true)] {
-            let mut cfg = RuntimeConfig::xkblas();
-            cfg.eager_flush = eager;
-            t.row(vec![name.to_string(), format!("{:.2}", run_with(cfg, n, tile))]);
+        let rows: Vec<Vec<String>> = [("lazy (explicit coherency)", false), ("eager per final tile", true)]
+            .par_iter()
+            .map(|&(name, eager)| {
+                let mut cfg = RuntimeConfig::xkblas();
+                cfg.eager_flush = eager;
+                vec![name.to_string(), format!("{:.2}", run_with(cfg, n, tile))]
+            })
+            .collect();
+        for row in rows {
+            t.row(row);
         }
         println!("write-back policy\n{}", t.render());
     }

@@ -1,0 +1,153 @@
+//! Machine-readable performance snapshot of the simulator itself.
+//!
+//! Times the three layers this harness optimizes — the discrete-event
+//! queue, one full library simulation, and the small best-tile sweep
+//! (serial/uncached vs rayon-parallel/memoized) — and writes the numbers
+//! to `BENCH_sim.json` (or the path given as the first argument).
+
+use std::time::Instant;
+
+use rayon::prelude::*;
+use xk_baselines::{Library, XkVariant};
+use xk_bench::{sweep_series, sweep_series_par, RunCache, SeriesPoint, PAPER_DIMS_SMALL};
+use xk_kernels::Routine;
+use xk_sim::{EventQueue, SimTime};
+
+const QUEUE_EVENTS: usize = 1_000_000;
+
+/// Fig. 3's library set: the sweep the snapshot times end to end.
+const SWEEP_LIBS: [Library; 4] = [
+    Library::CublasXt,
+    Library::XkBlas(XkVariant::Full),
+    Library::XkBlas(XkVariant::NoHeuristic),
+    Library::XkBlas(XkVariant::NoHeuristicNoTopo),
+];
+
+/// Push/pop throughput of the event queue at one million events.
+fn bench_event_queue() -> (f64, f64) {
+    let mut q = EventQueue::with_capacity(QUEUE_EVENTS);
+    let t0 = Instant::now();
+    // Knuth-hash timestamps: scattered but reproducible.
+    q.push_batch((0..QUEUE_EVENTS).map(|i| {
+        let t = (i.wrapping_mul(2654435761) % 1_000_003) as f64 * 1e-6;
+        (SimTime::new(t), i as u32)
+    }));
+    let mut checksum = 0u64;
+    while let Some((_, e)) = q.pop() {
+        checksum = checksum.wrapping_add(e as u64);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        checksum,
+        (QUEUE_EVENTS as u64 - 1) * QUEUE_EVENTS as u64 / 2
+    );
+    (secs, QUEUE_EVENTS as f64 / secs)
+}
+
+/// Spans/second of one full GEMM simulation.
+fn bench_gemm_sim(topo: &xk_topo::Topology, n: usize, tile: usize) -> (usize, f64, f64) {
+    let params = xk_baselines::RunParams {
+        routine: Routine::Gemm,
+        n,
+        tile,
+        data_on_device: false,
+    };
+    let t0 = Instant::now();
+    let r = xk_baselines::run(Library::XkBlas(XkVariant::Full), topo, &params)
+        .expect("xkblas gemm runs");
+    let secs = t0.elapsed().as_secs_f64();
+    let spans = r.trace.len();
+    (spans, secs, spans as f64 / secs)
+}
+
+fn series_equal(a: &[Vec<SeriesPoint>], b: &[Vec<SeriesPoint>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(sa, sb)| {
+            sa.len() == sb.len()
+                && sa.iter().zip(sb).all(|(pa, pb)| {
+                    pa.n == pb.n
+                        && pa.tile == pb.tile
+                        && pa.tflops.map(f64::to_bits) == pb.tflops.map(f64::to_bits)
+                })
+        })
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let topo = xk_topo::dgx1();
+
+    eprintln!("event queue: {QUEUE_EVENTS} events ...");
+    let (queue_secs, events_per_sec) = bench_event_queue();
+
+    eprintln!("single GEMM simulation ...");
+    let (spans, sim_secs, spans_per_sec) = bench_gemm_sim(&topo, 16384, 2048);
+
+    eprintln!(
+        "small sweep ({} libraries x {:?}), serial reference ...",
+        SWEEP_LIBS.len(),
+        PAPER_DIMS_SMALL
+    );
+    let t0 = Instant::now();
+    let serial: Vec<Vec<SeriesPoint>> = SWEEP_LIBS
+        .iter()
+        .map(|&lib| sweep_series(lib, &topo, Routine::Gemm, &PAPER_DIMS_SMALL, false))
+        .collect();
+    let serial_secs = t0.elapsed().as_secs_f64();
+
+    eprintln!("small sweep, parallel + memoized (cold cache) ...");
+    let cache = RunCache::new();
+    let t0 = Instant::now();
+    let parallel: Vec<Vec<SeriesPoint>> = SWEEP_LIBS
+        .par_iter()
+        .map(|&lib| sweep_series_par(lib, &topo, Routine::Gemm, &PAPER_DIMS_SMALL, false, Some(&cache)))
+        .collect();
+    let parallel_secs = t0.elapsed().as_secs_f64();
+    let identical = series_equal(&serial, &parallel);
+    assert!(identical, "parallel sweep diverged from the serial reference");
+
+    eprintln!("small sweep, warm cache ...");
+    let t0 = Instant::now();
+    let warm: Vec<Vec<SeriesPoint>> = SWEEP_LIBS
+        .par_iter()
+        .map(|&lib| sweep_series_par(lib, &topo, Routine::Gemm, &PAPER_DIMS_SMALL, false, Some(&cache)))
+        .collect();
+    let warm_secs = t0.elapsed().as_secs_f64();
+    assert!(series_equal(&parallel, &warm));
+    let stats = cache.stats();
+
+    let snapshot = serde_json::json!({
+        "event_queue": {
+            "events": QUEUE_EVENTS,
+            "seconds": queue_secs,
+            "events_per_sec": events_per_sec,
+        },
+        "gemm_sim": {
+            "n": 16384,
+            "tile": 2048,
+            "spans": spans,
+            "seconds": sim_secs,
+            "spans_per_sec": spans_per_sec,
+        },
+        "small_sweep": {
+            "libraries": SWEEP_LIBS.len(),
+            "dims": PAPER_DIMS_SMALL,
+            "routine": "gemm",
+            "serial_seconds": serial_secs,
+            "parallel_seconds": parallel_secs,
+            "speedup": serial_secs / parallel_secs,
+            "warm_cache_seconds": warm_secs,
+            "series_identical_to_serial": identical,
+        },
+        "run_cache": {
+            "entries": cache.len(),
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "hit_rate": stats.hit_rate(),
+        },
+        "rayon_threads": rayon::current_num_threads(),
+    });
+    let pretty = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    std::fs::write(&out, pretty.as_bytes()).expect("snapshot written");
+    println!("{pretty}");
+    eprintln!("wrote {out}");
+}

@@ -1,13 +1,34 @@
-//! Runs every table/figure reproduction in sequence (pass --quick for the
-//! reduced sweep) and writes all CSV artifacts under results/.
+//! Runs every table/figure reproduction in sequence and writes all CSV
+//! artifacts under results/.
+//!
+//! Flags:
+//! - `--quick`  trims the dimension grid for tests/CI.
+//! - `--small`  uses the paper grid truncated at N = 24576 (the
+//!   `PAPER_DIMS_SMALL` sweep the benchmark snapshot times).
+//! - `--serial` forces a single rayon thread and disables the run cache:
+//!   the reference configuration the parallel output must match byte for
+//!   byte.
 
-use xk_bench::figs;
-use xk_bench::write_csv;
+use xk_bench::{figs, runcache, write_csv, PAPER_DIMS_SMALL};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let small = args.iter().any(|a| a == "--small");
+    let serial = args.iter().any(|a| a == "--serial");
+    if serial {
+        runcache::set_global_enabled(false);
+        let _ = rayon::ThreadPoolBuilder::new().num_threads(1).build_global();
+    }
     let topo = xk_topo::dgx1();
-    let dims = figs::dims(quick);
+    let dims = if small {
+        PAPER_DIMS_SMALL.to_vec()
+    } else {
+        figs::dims(quick)
+    };
+    // The trace/composition figures use their reduced problem sizes in
+    // either trimmed mode.
+    let reduced = quick || small;
 
     println!("================ Table I / Fig. 1 ================\n");
     print!("{}", figs::table1_platform());
@@ -40,25 +61,38 @@ fn main() {
         let _ = write_csv(&format!("fig5_{}.csv", routine.name().to_lowercase()), &table.to_csv());
     }
 
-    let n6 = if quick { 16384 } else { 32768 };
+    let n6 = if reduced { 16384 } else { 32768 };
     println!("\n================ Fig. 6 (N={n6}) ================\n");
     let t = figs::fig6_trace_gemm(&topo, n6);
     println!("{}", t.render());
     let _ = write_csv("fig6_trace_gemm.csv", &t.to_csv());
 
-    let n7 = if quick { 16384 } else { 49152 };
+    let n7 = if reduced { 16384 } else { 49152 };
     println!("\n================ Fig. 7 (N={n7}) ================\n");
     for (lib, table, imb) in figs::fig7_trace_syr2k(&topo, n7) {
         println!("{} (imbalance {:.1}%)\n{}", lib.name(), imb * 100.0, table.render());
     }
 
     println!("\n================ Fig. 8 ================\n");
-    let comp_dims: Vec<usize> = if quick { vec![8192, 16384] } else { vec![8192, 16384, 24576, 32768, 49152] };
+    let comp_dims: Vec<usize> = if reduced { vec![8192, 16384] } else { vec![8192, 16384, 24576, 32768, 49152] };
     let t = figs::fig8_composition(&topo, &comp_dims, 2048);
     println!("{}", t.render());
     let _ = write_csv("fig8_composition.csv", &t.to_csv());
 
-    let n9 = if quick { 16384 } else { 32768 };
+    let n9 = if reduced { 16384 } else { 32768 };
     println!("\n================ Fig. 9 (N={n9}) ================\n");
     print!("{}", figs::fig9_gantt(&topo, n9, 2048, 110));
+
+    // Stats go to stderr so stdout stays byte-comparable with --serial.
+    if let Some(c) = runcache::global_if_enabled() {
+        let s = c.stats();
+        eprintln!(
+            "\nrun cache: {} entries, {} hits / {} misses ({:.0}% hit rate), {} rayon threads",
+            c.len(),
+            s.hits,
+            s.misses,
+            s.hit_rate() * 100.0,
+            rayon::current_num_threads()
+        );
+    }
 }

@@ -11,7 +11,24 @@ use xk_trace::SpanKind;
 
 use crate::composition::{run_chameleon_composition, run_xkblas_composition};
 use crate::report::{fmt_tflops, Table};
-use crate::sweep::{best_tile_run, sweep_series};
+use crate::runcache;
+use crate::sweep::{best_tile_run_with, sweep_series_par};
+
+/// The process-wide cache, unless `run_all --serial` disabled it.
+fn cache() -> Option<&'static runcache::RunCache> {
+    runcache::global_if_enabled()
+}
+
+/// Best-tile run through the shared cache with parallel tile candidates.
+fn best(
+    lib: Library,
+    topo: &Topology,
+    routine: Routine,
+    n: usize,
+    data_on_device: bool,
+) -> Result<(usize, xk_baselines::RunResult), xk_baselines::RunError> {
+    best_tile_run_with(lib, topo, routine, n, data_on_device, cache(), true)
+}
 
 /// Dimensions to sweep: `quick` trims the grid for tests/CI.
 pub fn dims(quick: bool) -> Vec<usize> {
@@ -73,7 +90,7 @@ pub fn fig3_heuristics(topo: &Topology, dims: &[usize]) -> Vec<(Routine, Table)>
             header.extend(dims.iter().map(|n| n.to_string()));
             let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
             for lib in libs {
-                let pts = sweep_series(lib, topo, routine, dims, false);
+                let pts = sweep_series_par(lib, topo, routine, dims, false, cache());
                 let mut row = vec![lib.name().to_string()];
                 row.extend(pts.iter().map(|p| fmt_tflops(p.tflops)));
                 t.row(row);
@@ -92,19 +109,19 @@ pub fn table2_gains(topo: &Topology, dims: &[usize]) -> Table {
         let mut max_noh: f64 = f64::INFINITY;
         let mut max_notopo: f64 = f64::INFINITY;
         for &n in &big {
-            let base = best_tile_run(Library::XkBlas(XkVariant::Full), topo, routine, n, false)
+            let base = best(Library::XkBlas(XkVariant::Full), topo, routine, n, false)
                 .expect("xkblas always runs")
                 .1
                 .tflops;
-            let dod = best_tile_run(Library::XkBlas(XkVariant::Full), topo, routine, n, true)
+            let dod = best(Library::XkBlas(XkVariant::Full), topo, routine, n, true)
                 .expect("dod runs")
                 .1
                 .tflops;
-            let noh = best_tile_run(Library::XkBlas(XkVariant::NoHeuristic), topo, routine, n, false)
+            let noh = best(Library::XkBlas(XkVariant::NoHeuristic), topo, routine, n, false)
                 .expect("variant runs")
                 .1
                 .tflops;
-            let notopo = best_tile_run(
+            let notopo = best(
                 Library::XkBlas(XkVariant::NoHeuristicNoTopo),
                 topo,
                 routine,
@@ -148,8 +165,11 @@ pub fn fig4_data_on_device(topo: &Topology, dims: &[usize]) -> Vec<(Routine, Tab
                     tile,
                     data_on_device: true,
                 };
-                let r = run(Library::XkBlas(XkVariant::Full), topo, &params)
-                    .expect("xkblas dod runs");
+                let r = match cache() {
+                    Some(c) => c.run(Library::XkBlas(XkVariant::Full), topo, &params),
+                    None => run(Library::XkBlas(XkVariant::Full), topo, &params),
+                }
+                .expect("xkblas dod runs");
                 dod_row.push(format!("{:.2}", r.tflops));
             }
             t.row(dod_row);
@@ -159,7 +179,7 @@ pub fn fig4_data_on_device(topo: &Topology, dims: &[usize]) -> Vec<(Routine, Tab
                 Library::ChameleonTile,
                 Library::CublasXt,
             ] {
-                let pts = sweep_series(lib, topo, routine, dims, false);
+                let pts = sweep_series_par(lib, topo, routine, dims, false, cache());
                 let mut row = vec![lib.name().to_string()];
                 row.extend(pts.iter().map(|p| fmt_tflops(p.tflops)));
                 t.row(row);
@@ -181,7 +201,7 @@ pub fn fig5_libraries(topo: &Topology, dims: &[usize]) -> Vec<(Routine, Table)> 
                 if !lib.supports(routine) {
                     continue;
                 }
-                let pts = sweep_series(lib, topo, routine, dims, false);
+                let pts = sweep_series_par(lib, topo, routine, dims, false, cache());
                 let mut row = vec![lib.name().to_string()];
                 row.extend(pts.iter().map(|p| fmt_tflops(p.tflops)));
                 t.row(row);
@@ -210,7 +230,7 @@ pub fn fig6_trace_gemm(topo: &Topology, n: usize) -> Table {
         "Kernel %", "xfer %",
     ]);
     for lib in FIG6_LIBS {
-        let Ok((_, r)) = best_tile_run(lib, topo, Routine::Gemm, n, false) else {
+        let Ok((_, r)) = best(lib, topo, Routine::Gemm, n, false) else {
             continue;
         };
         let b = r.trace.breakdown();
@@ -237,7 +257,7 @@ pub fn fig7_trace_syr2k(topo: &Topology, n: usize) -> Vec<(Library, Table, f64)>
     [Library::ChameleonTile, Library::CublasXt, Library::XkBlas(XkVariant::Full)]
         .into_iter()
         .filter_map(|lib| {
-            let (_, r) = best_tile_run(lib, topo, Routine::Syr2k, n, false).ok()?;
+            let (_, r) = best(lib, topo, Routine::Syr2k, n, false).ok()?;
             let mut t = Table::new(&["gpu", "DtoH s", "HtoD s", "PtoP s", "Kernel s"]);
             let per = r.trace.breakdown_per_device();
             for g in 0..topo.n_gpus() {

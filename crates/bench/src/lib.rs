@@ -12,10 +12,15 @@
 pub mod composition;
 pub mod figs;
 pub mod report;
+pub mod runcache;
 pub mod sweep;
 
 pub use composition::{
     composition_flops, run_chameleon_composition, run_xkblas_composition, CompositionResult,
 };
 pub use report::{fmt_tflops, write_csv, Table};
-pub use sweep::{best_tile_run, sweep_series, SeriesPoint, PAPER_DIMS, PAPER_DIMS_SMALL};
+pub use runcache::{CacheStats, RunCache, RunKey};
+pub use sweep::{
+    best_tile_run, best_tile_run_with, sweep_series, sweep_series_par, SeriesPoint, PAPER_DIMS,
+    PAPER_DIMS_SMALL,
+};

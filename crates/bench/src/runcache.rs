@@ -1,0 +1,225 @@
+//! Memoization of simulated runs.
+//!
+//! The paper's evaluation re-derives many identical configurations: the
+//! best-tile selection re-runs every `(library, routine, n, tile)` point,
+//! Table II re-runs Fig. 3/4 points, and the trace figures re-simulate the
+//! winners. Every simulation is deterministic in its inputs, so a run is
+//! fully identified by `(library, routine, n, tile, data_on_device,
+//! topology fingerprint)` — the [`RunCache`] maps that key to the finished
+//! [`RunResult`] and never simulates the same configuration twice.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use xk_baselines::{run, Library, RunError, RunParams, RunResult};
+use xk_kernels::Routine;
+use xk_topo::Topology;
+
+/// The memoization key: everything that determines a simulated run.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RunKey {
+    /// Library policy model.
+    pub library: Library,
+    /// BLAS-3 routine.
+    pub routine: Routine,
+    /// Matrix dimension.
+    pub n: usize,
+    /// Tile size.
+    pub tile: usize,
+    /// Data-on-device methodology.
+    pub data_on_device: bool,
+    /// [`Topology::fingerprint`] of the platform.
+    pub topo_fingerprint: u64,
+}
+
+impl RunKey {
+    /// Builds the key for one run.
+    pub fn new(lib: Library, topo: &Topology, params: &RunParams) -> Self {
+        RunKey {
+            library: lib,
+            routine: params.routine,
+            n: params.n,
+            tile: params.tile,
+            data_on_device: params.data_on_device,
+            topo_fingerprint: topo.fingerprint(),
+        }
+    }
+}
+
+/// Hit/miss counters of a cache, for run reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to simulate.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits over total lookups, in `[0, 1]` (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe memo table over [`xk_baselines::run`].
+///
+/// Concurrent lookups of the same key may both simulate (the lock is not
+/// held during the run); both compute the identical deterministic result,
+/// so the duplicate work is harmless and the first inserted value wins.
+#[derive(Debug, Default)]
+pub struct RunCache {
+    map: Mutex<HashMap<RunKey, Result<RunResult, RunError>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl RunCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        RunCache::default()
+    }
+
+    /// Runs `lib` with `params` on `topo`, returning the memoized outcome
+    /// when this exact configuration was simulated before.
+    pub fn run(
+        &self,
+        lib: Library,
+        topo: &Topology,
+        params: &RunParams,
+    ) -> Result<RunResult, RunError> {
+        let key = RunKey::new(lib, topo, params);
+        if let Some(found) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return found.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Simulate outside the lock so independent points still run in
+        // parallel; entry() keeps the first inserted value.
+        let result = run(lib, topo, params);
+        self.map
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| result.clone());
+        result
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of memoized configurations.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().unwrap().is_empty()
+    }
+
+    /// Drops every memoized run and resets the counters.
+    pub fn clear(&self) {
+        self.map.lock().unwrap().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+static GLOBAL: OnceLock<RunCache> = OnceLock::new();
+static GLOBAL_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// The process-wide cache shared by the figure binaries.
+pub fn global() -> &'static RunCache {
+    GLOBAL.get_or_init(RunCache::new)
+}
+
+/// Enables or disables the global cache (the `--serial` baseline mode of
+/// `run_all` turns it off so every point really simulates).
+pub fn set_global_enabled(enabled: bool) {
+    GLOBAL_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// The global cache, unless disabled via [`set_global_enabled`].
+pub fn global_if_enabled() -> Option<&'static RunCache> {
+    if GLOBAL_ENABLED.load(Ordering::Relaxed) {
+        Some(global())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xk_topo::dgx1;
+
+    fn params(n: usize, tile: usize) -> RunParams {
+        RunParams {
+            routine: Routine::Gemm,
+            n,
+            tile,
+            data_on_device: false,
+        }
+    }
+
+    #[test]
+    fn second_lookup_hits_and_matches() {
+        let topo = dgx1();
+        let cache = RunCache::new();
+        let lib = Library::CublasXt;
+        let a = cache.run(lib, &topo, &params(4096, 2048)).unwrap();
+        let b = cache.run(lib, &topo, &params(4096, 2048)).unwrap();
+        assert_eq!(a.tflops.to_bits(), b.tflops.to_bits());
+        assert_eq!(a.bytes_h2d, b.bytes_h2d);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_memoized_too() {
+        let topo = dgx1();
+        let cache = RunCache::new();
+        // DPLASMA is GEMM-only: SYRK is Unsupported.
+        let e1 = cache.run(Library::Dplasma, &topo, &{
+            let mut p = params(4096, 2048);
+            p.routine = Routine::Syrk;
+            p
+        });
+        let e2 = cache.run(Library::Dplasma, &topo, &{
+            let mut p = params(4096, 2048);
+            p.routine = Routine::Syrk;
+            p
+        });
+        assert_eq!(e1, Err(RunError::Unsupported));
+        assert_eq!(e2, Err(RunError::Unsupported));
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let topo = dgx1();
+        let cache = RunCache::new();
+        let lib = Library::CublasXt;
+        let a = cache.run(lib, &topo, &params(4096, 1024)).unwrap();
+        let b = cache.run(lib, &topo, &params(4096, 2048)).unwrap();
+        assert_ne!(a.seconds.to_bits(), b.seconds.to_bits());
+        assert_eq!(cache.stats().misses, 2);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+}

@@ -1,8 +1,17 @@
 //! Parameter sweeps with the paper's best-tile selection.
+//!
+//! Sweeps are embarrassingly parallel across `(dimension, tile)` points and
+//! every simulated run is deterministic, so [`sweep_series_par`] fans the
+//! grid over a rayon pool and still produces bit-identical series to the
+//! serial [`sweep_series`]: candidate results are collected in candidate
+//! order and reduced by the same strict-`>` fold the serial loop uses.
 
+use rayon::prelude::*;
 use xk_baselines::{run, Library, RunError, RunParams, RunResult};
 use xk_kernels::Routine;
 use xk_topo::Topology;
+
+use crate::runcache::RunCache;
 
 /// Matrix dimensions of the paper's x-axes (Fig. 3–5: 4096 … 49152).
 pub const PAPER_DIMS: [usize; 7] = [4096, 8192, 16384, 24576, 32768, 40960, 49152];
@@ -24,28 +33,38 @@ pub struct SeriesPoint {
     pub result: Option<RunResult>,
 }
 
-/// Runs `lib` at dimension `n`, trying every candidate tile size and
-/// keeping the best (§IV-A block-size selection).
-pub fn best_tile_run(
+/// One run, through the memo cache when one is given.
+fn run_point(
     lib: Library,
     topo: &Topology,
-    routine: Routine,
-    n: usize,
-    data_on_device: bool,
+    params: &RunParams,
+    cache: Option<&RunCache>,
+) -> Result<RunResult, RunError> {
+    match cache {
+        Some(c) => c.run(lib, topo, params),
+        None => run(lib, topo, params),
+    }
+}
+
+/// Keeps the error that tells the caller the most: a concrete resource
+/// failure beats the catch-all `Unsupported`.
+fn more_informative(seen: Option<RunError>, new: RunError) -> Option<RunError> {
+    match (seen, new) {
+        (Some(RunError::OutOfMemory), _) => Some(RunError::OutOfMemory),
+        (_, e) => Some(e),
+    }
+}
+
+/// Reduces candidate outcomes (in candidate order) to the winning
+/// `(tile, result)`. The strict `>` keeps the first tile on ties, exactly
+/// like the serial loop, so serial and parallel evaluation agree bitwise.
+fn fold_best(
+    outcomes: Vec<(usize, Result<RunResult, RunError>)>,
 ) -> Result<(usize, RunResult), RunError> {
     let mut best: Option<(usize, RunResult)> = None;
-    let mut last_err = RunError::Unsupported;
-    for &tile in lib.tile_candidates() {
-        if tile > n {
-            continue;
-        }
-        let params = RunParams {
-            routine,
-            n,
-            tile,
-            data_on_device,
-        };
-        match run(lib, topo, &params) {
+    let mut err: Option<RunError> = None;
+    for (tile, outcome) in outcomes {
+        match outcome {
             Ok(r) => {
                 let better = best
                     .as_ref()
@@ -55,22 +74,82 @@ pub fn best_tile_run(
                     best = Some((tile, r));
                 }
             }
-            Err(e) => last_err = e,
+            Err(e) => err = more_informative(err, e),
         }
     }
-    // Tiny problems where every candidate exceeds n: fall back to one tile.
-    if best.is_none() && lib.tile_candidates().iter().all(|&t| t > n) {
-        let params = RunParams {
-            routine,
+    best.ok_or_else(|| err.unwrap_or(RunError::Unsupported))
+}
+
+/// [`best_tile_run`] with optional memoization and parallel evaluation of
+/// the tile candidates. The winner is identical to the serial pick.
+pub fn best_tile_run_with(
+    lib: Library,
+    topo: &Topology,
+    routine: Routine,
+    n: usize,
+    data_on_device: bool,
+    cache: Option<&RunCache>,
+    parallel: bool,
+) -> Result<(usize, RunResult), RunError> {
+    let params = |tile: usize| RunParams {
+        routine,
+        n,
+        tile,
+        data_on_device,
+    };
+    let candidates: Vec<usize> = lib
+        .tile_candidates()
+        .iter()
+        .copied()
+        .filter(|&t| t <= n)
+        .collect();
+    if candidates.is_empty() {
+        // Tiny problems where every candidate exceeds n: run one fallback
+        // tile and propagate *its* error — not a blanket `Unsupported`.
+        let tile = n.max(1);
+        return run_point(lib, topo, &params(tile), cache).map(|r| (tile, r));
+    }
+    let outcomes: Vec<(usize, Result<RunResult, RunError>)> = if parallel {
+        candidates
+            .par_iter()
+            .map(|&tile| (tile, run_point(lib, topo, &params(tile), cache)))
+            .collect()
+    } else {
+        candidates
+            .iter()
+            .map(|&tile| (tile, run_point(lib, topo, &params(tile), cache)))
+            .collect()
+    };
+    fold_best(outcomes)
+}
+
+/// Runs `lib` at dimension `n`, trying every candidate tile size and
+/// keeping the best (§IV-A block-size selection).
+pub fn best_tile_run(
+    lib: Library,
+    topo: &Topology,
+    routine: Routine,
+    n: usize,
+    data_on_device: bool,
+) -> Result<(usize, RunResult), RunError> {
+    best_tile_run_with(lib, topo, routine, n, data_on_device, None, false)
+}
+
+fn to_point(n: usize, outcome: Result<(usize, RunResult), RunError>) -> SeriesPoint {
+    match outcome {
+        Ok((tile, r)) => SeriesPoint {
             n,
-            tile: n.max(1),
-            data_on_device,
-        };
-        if let Ok(r) = run(lib, topo, &params) {
-            best = Some((n.max(1), r));
-        }
+            tile,
+            tflops: Some(r.tflops),
+            result: Some(r),
+        },
+        Err(_) => SeriesPoint {
+            n,
+            tile: 0,
+            tflops: None,
+            result: None,
+        },
     }
-    best.ok_or(last_err)
 }
 
 /// Sweeps a whole series of dimensions for one `(library, routine)`.
@@ -82,19 +161,28 @@ pub fn sweep_series(
     data_on_device: bool,
 ) -> Vec<SeriesPoint> {
     dims.iter()
-        .map(|&n| match best_tile_run(lib, topo, routine, n, data_on_device) {
-            Ok((tile, r)) => SeriesPoint {
+        .map(|&n| to_point(n, best_tile_run(lib, topo, routine, n, data_on_device)))
+        .collect()
+}
+
+/// The parallel [`sweep_series`]: dimensions fan out across the rayon
+/// pool and each dimension evaluates its tile candidates in parallel too.
+/// The returned series is ordered like `dims` and bit-identical to the
+/// serial sweep.
+pub fn sweep_series_par(
+    lib: Library,
+    topo: &Topology,
+    routine: Routine,
+    dims: &[usize],
+    data_on_device: bool,
+    cache: Option<&RunCache>,
+) -> Vec<SeriesPoint> {
+    dims.par_iter()
+        .map(|&n| {
+            to_point(
                 n,
-                tile,
-                tflops: Some(r.tflops),
-                result: Some(r),
-            },
-            Err(_) => SeriesPoint {
-                n,
-                tile: 0,
-                tflops: None,
-                result: None,
-            },
+                best_tile_run_with(lib, topo, routine, n, data_on_device, cache, true),
+            )
         })
         .collect()
 }
@@ -132,5 +220,58 @@ mod tests {
             best_tile_run(Library::XkBlas(XkVariant::Full), &topo, Routine::Gemm, 512, false)
                 .unwrap();
         assert_eq!(tile, 512);
+    }
+
+    #[test]
+    fn oom_is_reported_not_unsupported() {
+        // BLASX runs out of aggregate device memory at N = 49152; the sweep
+        // must surface that, not the catch-all `Unsupported`.
+        let topo = dgx1();
+        let err = best_tile_run(Library::Blasx, &topo, Routine::Gemm, 49152, false).unwrap_err();
+        assert_eq!(err, RunError::OutOfMemory);
+    }
+
+    #[test]
+    fn unsupported_routine_is_reported() {
+        let topo = dgx1();
+        let err = best_tile_run(Library::Dplasma, &topo, Routine::Syrk, 8192, false).unwrap_err();
+        assert_eq!(err, RunError::Unsupported);
+        // The small-problem fallback path propagates the run's real error
+        // as well.
+        let err = best_tile_run(Library::Dplasma, &topo, Routine::Syrk, 512, false).unwrap_err();
+        assert_eq!(err, RunError::Unsupported);
+    }
+
+    #[test]
+    fn parallel_and_cached_match_serial() {
+        let topo = dgx1();
+        let cache = RunCache::new();
+        let lib = Library::XkBlas(XkVariant::Full);
+        let serial = best_tile_run(lib, &topo, Routine::Gemm, 8192, false).unwrap();
+        let par = best_tile_run_with(lib, &topo, Routine::Gemm, 8192, false, Some(&cache), true)
+            .unwrap();
+        assert_eq!(serial.0, par.0);
+        assert_eq!(serial.1.tflops.to_bits(), par.1.tflops.to_bits());
+        assert_eq!(serial.1.bytes_h2d, par.1.bytes_h2d);
+        // A second cached evaluation answers every candidate from the memo.
+        let again = best_tile_run_with(lib, &topo, Routine::Gemm, 8192, false, Some(&cache), true)
+            .unwrap();
+        assert_eq!(again.1.seconds.to_bits(), par.1.seconds.to_bits());
+        let s = cache.stats();
+        assert_eq!(s.hits, s.misses);
+    }
+
+    #[test]
+    fn parallel_series_matches_serial() {
+        let topo = dgx1();
+        let dims = [4096, 8192];
+        let s = sweep_series(Library::CublasXt, &topo, Routine::Gemm, &dims, false);
+        let p = sweep_series_par(Library::CublasXt, &topo, Routine::Gemm, &dims, false, None);
+        assert_eq!(s.len(), p.len());
+        for (a, b) in s.iter().zip(&p) {
+            assert_eq!(a.n, b.n);
+            assert_eq!(a.tile, b.tile);
+            assert_eq!(a.tflops.map(f64::to_bits), b.tflops.map(f64::to_bits));
+        }
     }
 }

@@ -18,7 +18,7 @@ use std::collections::VecDeque;
 
 use xk_sim::{Clock, Duration, EngineId, EnginePool, SimTime};
 use xk_topo::{BusSegment, Device, Topology};
-use xk_trace::{Place, Span, SpanKind, Trace};
+use xk_trace::{Label, Place, Span, SpanKind, Trace};
 
 use crate::cache::{Eviction, SoftwareCache};
 use crate::config::RuntimeConfig;
@@ -91,7 +91,11 @@ pub struct SimExecutor<'a> {
     /// brick is an independent channel, so a GPU can fan a tile out to
     /// several peers concurrently (this is what makes the optimistic
     /// forwarding profitable on the real machine).
-    nvlinks: std::collections::HashMap<(usize, usize), EngineId>,
+    ///
+    /// Stored as a flat `n×n` table indexed `src * n + dst` (`None` when the
+    /// pair has no NVLink) — the lookup sits on the per-transfer hot path
+    /// and a flat index beats hashing a tuple key.
+    nvlinks: Vec<Option<EngineId>>,
     cache: SoftwareCache,
     clock: Clock<Ev>,
     pending: Vec<usize>,
@@ -108,6 +112,16 @@ pub struct SimExecutor<'a> {
     submission_cursor: SimTime,
     scheduler: Box<dyn Scheduler>,
     trace: Trace,
+    /// Interned trace label per task (indexed by `TaskId.0`).
+    task_labels: Vec<Label>,
+    /// Interned trace label per data handle (indexed by `HandleId.0`).
+    data_labels: Vec<Label>,
+    /// Scratch buffers reused across scheduling steps so the event loop
+    /// stays allocation-free after warm-up.
+    scratch_avail: Vec<SimTime>,
+    scratch_lens: Vec<usize>,
+    scratch_handles: Vec<HandleId>,
+    scratch_engines: Vec<EngineId>,
     bytes_h2d: u64,
     bytes_d2h: u64,
     bytes_p2p: u64,
@@ -137,10 +151,13 @@ impl<'a> SimExecutor<'a> {
             .map(|s| pool.add(format!("switch{s}.uplink")))
             .collect();
         let intersocket = pool.add("intersocket");
-        let mut nvlinks = std::collections::HashMap::new();
+        // Engines must be added in the same deterministic order as the
+        // historical HashMap-based construction so EngineIds (and therefore
+        // whole simulations) stay bit-identical.
+        let mut nvlinks: Vec<Option<EngineId>> = vec![None; n * n];
         for (a, b, _) in topo.nvlink_edges() {
-            nvlinks.insert((a, b), pool.add(format!("nvlink{a}->{b}")));
-            nvlinks.insert((b, a), pool.add(format!("nvlink{b}->{a}")));
+            nvlinks[a * n + b] = Some(pool.add(format!("nvlink{a}->{b}")));
+            nvlinks[b * n + a] = Some(pool.add(format!("nvlink{b}->{a}")));
         }
         let cache = SoftwareCache::new(n, cfg.gpu_memory, graph.data());
         let mut final_writer = vec![None; graph.data().len()];
@@ -149,6 +166,17 @@ impl<'a> SimExecutor<'a> {
                 final_writer[h.0] = Some(task.id);
             }
         }
+        // Intern every label up front: the event loop then records spans
+        // with a copyable u32 instead of cloning a String per span.
+        let mut trace = Trace::new();
+        let task_labels: Vec<Label> = graph
+            .tasks()
+            .iter()
+            .map(|t| trace.intern(&t.label))
+            .collect();
+        let data_labels: Vec<Label> = (0..graph.data().len())
+            .map(|i| trace.intern(&graph.data().info(HandleId(i)).label))
+            .collect();
         SimExecutor {
             graph,
             topo,
@@ -159,7 +187,9 @@ impl<'a> SimExecutor<'a> {
             intersocket,
             nvlinks,
             cache,
-            clock: Clock::new(),
+            // Each task typically produces a TaskDone plus a handful of
+            // TryLaunch events; pre-reserving avoids heap regrowth mid-run.
+            clock: Clock::with_capacity(graph.len().saturating_mul(4).max(64)),
             pending: graph.predecessor_counts().to_vec(),
             assigned_to: vec![None; graph.len()],
             prefetched: vec![None; graph.len()],
@@ -167,7 +197,13 @@ impl<'a> SimExecutor<'a> {
             committed: vec![0.0; n],
             submission_cursor: SimTime::ZERO,
             scheduler: make_scheduler(cfg.scheduler, n),
-            trace: Trace::new(),
+            trace,
+            task_labels,
+            data_labels,
+            scratch_avail: Vec::with_capacity(n),
+            scratch_lens: Vec::with_capacity(n),
+            scratch_handles: Vec::new(),
+            scratch_engines: Vec::new(),
             bytes_h2d: 0,
             bytes_d2h: 0,
             bytes_p2p: 0,
@@ -212,8 +248,12 @@ impl<'a> SimExecutor<'a> {
             return;
         }
         let g = {
-            let avail: Vec<SimTime> = self.gpus.iter().map(|s| self.min_stream_free(s)).collect();
-            let lens: Vec<usize> = self.gpus.iter().map(|s| s.queue.len()).collect();
+            let mut avail = std::mem::take(&mut self.scratch_avail);
+            let mut lens = std::mem::take(&mut self.scratch_lens);
+            avail.clear();
+            avail.extend(self.gpus.iter().map(|s| self.min_stream_free(s)));
+            lens.clear();
+            lens.extend(self.gpus.iter().map(|s| s.queue.len()));
             let view = SchedView {
                 now: self.clock.now(),
                 gpu_available: &avail,
@@ -223,7 +263,10 @@ impl<'a> SimExecutor<'a> {
                 cache: &self.cache,
                 model: &self.cfg.gpu_model,
             };
-            self.scheduler.assign(task, self.graph, &view)
+            let g = self.scheduler.assign(task, self.graph, &view);
+            self.scratch_avail = avail;
+            self.scratch_lens = lens;
+            g
         };
         self.assigned_to[t.0] = Some(g);
         if let Some(op) = task.op {
@@ -289,8 +332,12 @@ impl<'a> SimExecutor<'a> {
             } else if self.scheduler.allows_stealing() && self.gpus[g].in_flight == 0 {
                 // Steal only when truly idle, one task at a time — XKaapi
                 // steals on idleness, it does not hoard.
-                let lens: Vec<usize> = self.gpus.iter().map(|s| s.queue.len()).collect();
-                match pick_victim(&lens, g) {
+                let mut lens = std::mem::take(&mut self.scratch_lens);
+                lens.clear();
+                lens.extend(self.gpus.iter().map(|s| s.queue.len()));
+                let victim = pick_victim(&lens, g);
+                self.scratch_lens = lens;
+                match victim {
                     Some(v) => {
                         // Steal the most recently pushed task (cold end).
                         let t = self.gpus[v].queue.pop_back().expect("victim non-empty");
@@ -313,8 +360,14 @@ impl<'a> SimExecutor<'a> {
     /// does not fit next to the currently pinned tiles and `force` is off.
     fn acquire_inputs(&mut self, t: TaskId, g: usize, force: bool) -> Option<SimTime> {
         let now = self.clock.now();
-        let task = self.graph.task(t);
-        let pins: Vec<HandleId> = task.accesses.iter().map(|a| a.handle).collect();
+        // Copy the graph reference: its borrows live for 'a, independently
+        // of `&mut self`, so task accesses can be iterated without
+        // collecting into fresh Vecs on every scheduling step.
+        let graph = self.graph;
+        let task = graph.task(t);
+        let mut pins = std::mem::take(&mut self.scratch_handles);
+        pins.clear();
+        pins.extend(task.accesses.iter().map(|a| a.handle));
         for &h in &pins {
             self.cache.pin(h, g);
         }
@@ -323,10 +376,10 @@ impl<'a> SimExecutor<'a> {
         let needed: u64 = pins
             .iter()
             .filter(|&&h| self.cache.replica(h, g).is_none())
-            .map(|&h| self.graph.data().info(h).bytes)
+            .map(|&h| graph.data().info(h).bytes)
             .sum();
         if needed > 0 {
-            let evictions = self.cache.make_room(g, needed, &pins, self.graph.data());
+            let evictions = self.cache.make_room(g, needed, &pins, graph.data());
             for ev in evictions {
                 if let Eviction::WriteBack(h) = ev {
                     self.issue_d2h(h, g, now);
@@ -338,23 +391,23 @@ impl<'a> SimExecutor<'a> {
                 for &h in &pins {
                     self.cache.unpin(h, g);
                 }
+                self.scratch_handles = pins;
                 return None;
             }
         }
+        self.scratch_handles = pins;
 
         // Input transfers.
         let mut input_ready = now;
-        let reads: Vec<HandleId> = task.read_handles().collect();
-        for h in reads {
+        for h in task.read_handles() {
             let ready = self.fetch(h, g, now);
             input_ready = input_ready.max(ready);
             self.cache.touch(h, g);
         }
         // Write-only outputs just need residency.
-        let writes: Vec<HandleId> = task.written_handles().collect();
-        for &h in &writes {
+        for h in task.written_handles() {
             if self.cache.replica(h, g).is_none() {
-                let bytes = self.graph.data().info(h).bytes;
+                let bytes = graph.data().info(h).bytes;
                 self.cache.allocate_output(h, g, bytes);
             }
         }
@@ -362,9 +415,9 @@ impl<'a> SimExecutor<'a> {
     }
 
     fn unpin_task(&mut self, t: TaskId, g: usize) {
-        let handles: Vec<HandleId> = self.graph.task(t).accesses.iter().map(|a| a.handle).collect();
-        for h in handles {
-            self.cache.unpin(h, g);
+        let graph = self.graph;
+        for a in &graph.task(t).accesses {
+            self.cache.unpin(a.handle, g);
         }
     }
 
@@ -409,7 +462,7 @@ impl<'a> SimExecutor<'a> {
             start: res.start.seconds(),
             end: res.end.seconds(),
             bytes: 0,
-            label: task.label.clone(),
+            label: self.task_labels[t.0],
         });
         self.gpus[g].in_flight += 1;
         self.clock.schedule(res.end, Ev::TaskDone(t));
@@ -417,6 +470,7 @@ impl<'a> SimExecutor<'a> {
 
     /// Ensures `h` is (or will be) valid on `g`; returns when it is usable.
     fn fetch(&mut self, h: HandleId, g: usize, now: SimTime) -> SimTime {
+        let n = self.gpus.len();
         let nvlinks = &self.nvlinks;
         let pool = &self.pool;
         let gpus = &self.gpus;
@@ -426,10 +480,7 @@ impl<'a> SimExecutor<'a> {
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, &c)| {
-                    let engine = nvlinks
-                        .get(&(c, g))
-                        .copied()
-                        .unwrap_or(gpus[c].pcie_out);
+                    let engine = nvlinks[c * n + g].unwrap_or(gpus[c].pcie_out);
                     (pool.free_at(engine), c)
                 })
                 .map(|(i, _)| i)
@@ -458,9 +509,12 @@ impl<'a> SimExecutor<'a> {
                     bw *= PITCHED_COPY_FACTOR;
                 }
                 let dur = Duration::new(route.latency + info.bytes as f64 / bw);
-                let mut engines = vec![self.gpus[g].pcie_in];
-                engines.extend(self.segment_engines(&route.segments));
+                let mut engines = std::mem::take(&mut self.scratch_engines);
+                engines.clear();
+                engines.push(self.gpus[g].pcie_in);
+                self.push_segment_engines(&route.segments, &mut engines);
                 let res = self.pool.reserve(&engines, now, dur);
+                self.scratch_engines = engines;
                 self.cache.begin_transfer(h, g, info.bytes, res.end);
                 self.bytes_h2d += info.bytes;
                 self.trace.push(Span {
@@ -470,7 +524,7 @@ impl<'a> SimExecutor<'a> {
                     start: res.start.seconds(),
                     end: res.end.seconds(),
                     bytes: info.bytes,
-                    label: info.label.clone(),
+                    label: self.data_labels[h.0],
                 });
                 res.end
             }
@@ -478,20 +532,26 @@ impl<'a> SimExecutor<'a> {
     }
 
     fn issue_p2p(&mut self, h: HandleId, src: usize, dst: usize, earliest: SimTime, bytes: u64) -> SimTime {
+        let n = self.gpus.len();
         let route = self.topo.route(Device::Gpu(src), Device::Gpu(dst));
         // Device copies are compacted tiles (§III-A): full link bandwidth.
         let dur = Duration::new(route.latency + bytes as f64 / route.bandwidth);
         // NVLink routes use the dedicated directional brick; PCIe peer
         // routes share the PCIe send/receive paths and the switch fabric.
-        let mut engines = match self.nvlinks.get(&(src, dst)) {
-            Some(&link) => vec![link],
-            None => vec![self.gpus[src].pcie_out, self.gpus[dst].pcie_in],
-        };
-        engines.extend(self.segment_engines(&route.segments));
+        let mut engines = std::mem::take(&mut self.scratch_engines);
+        engines.clear();
+        match self.nvlinks[src * n + dst] {
+            Some(link) => engines.push(link),
+            None => {
+                engines.push(self.gpus[src].pcie_out);
+                engines.push(self.gpus[dst].pcie_in);
+            }
+        }
+        self.push_segment_engines(&route.segments, &mut engines);
         let res = self.pool.reserve(&engines, earliest, dur);
+        self.scratch_engines = engines;
         self.cache.begin_transfer(h, dst, bytes, res.end);
         self.bytes_p2p += bytes;
-        let label = self.graph.data().info(h).label.clone();
         self.trace.push(Span {
             place: Place::Gpu(dst as u32),
             lane: 0,
@@ -499,7 +559,7 @@ impl<'a> SimExecutor<'a> {
             start: res.start.seconds(),
             end: res.end.seconds(),
             bytes,
-            label,
+            label: self.data_labels[h.0],
         });
         res.end
     }
@@ -512,9 +572,12 @@ impl<'a> SimExecutor<'a> {
             bw *= PITCHED_COPY_FACTOR;
         }
         let dur = Duration::new(route.latency + info.bytes as f64 / bw);
-        let mut engines = vec![self.gpus[g].pcie_out];
-        engines.extend(self.segment_engines(&route.segments));
+        let mut engines = std::mem::take(&mut self.scratch_engines);
+        engines.clear();
+        engines.push(self.gpus[g].pcie_out);
+        self.push_segment_engines(&route.segments, &mut engines);
         let res = self.pool.reserve(&engines, earliest, dur);
+        self.scratch_engines = engines;
         self.bytes_d2h += info.bytes;
         self.trace.push(Span {
             place: Place::Gpu(g as u32),
@@ -523,27 +586,24 @@ impl<'a> SimExecutor<'a> {
             start: res.start.seconds(),
             end: res.end.seconds(),
             bytes: info.bytes,
-            label: info.label.clone(),
+            label: self.data_labels[h.0],
         });
         res.end
     }
 
-    fn segment_engines(&self, segments: &[BusSegment]) -> Vec<EngineId> {
-        segments
-            .iter()
-            .map(|s| match s {
-                BusSegment::HostUplink(sw) => self.uplinks[*sw],
-                BusSegment::InterSocket => self.intersocket,
-            })
-            .collect()
+    fn push_segment_engines(&self, segments: &[BusSegment], out: &mut Vec<EngineId>) {
+        out.extend(segments.iter().map(|s| match s {
+            BusSegment::HostUplink(sw) => self.uplinks[*sw],
+            BusSegment::InterSocket => self.intersocket,
+        }));
     }
 
     /// Executes a flush task: DtoH for every dirty read handle.
     fn run_flush(&mut self, t: TaskId) {
         let now = self.clock.now();
-        let handles: Vec<HandleId> = self.graph.task(t).read_handles().collect();
+        let graph = self.graph;
         let mut done = now;
-        for h in handles {
+        for h in graph.task(t).read_handles() {
             if let Some(g) = self.cache.dirty_on(h) {
                 let end = self.issue_d2h(h, g, now);
                 self.cache.mark_flushed(h);
@@ -554,16 +614,16 @@ impl<'a> SimExecutor<'a> {
     }
 
     fn on_done(&mut self, t: TaskId) {
-        let task = self.graph.task(t);
+        let graph = self.graph;
+        let task = graph.task(t);
         if task.kind == TaskKind::Kernel {
             let g = self.assigned_to[t.0].expect("kernel was assigned");
             if let Some((pg, _)) = self.prefetched[t.0] {
                 self.unpin_task(t, pg);
             }
-            let writes: Vec<HandleId> = task.written_handles().collect();
-            for h in &writes {
-                let bytes = self.graph.data().info(*h).bytes;
-                self.cache.mark_written(*h, g, bytes, self.graph.data());
+            for h in task.written_handles() {
+                let bytes = graph.data().info(h).bytes;
+                self.cache.mark_written(h, g, bytes, graph.data());
             }
             if self.cfg.eager_flush {
                 // Chameleon/StarPU behaviour: a computed tile goes straight
@@ -571,10 +631,10 @@ impl<'a> SimExecutor<'a> {
                 // (the flush-back annotation on the unrolled data-flow
                 // graph, §IV-F) — intermediate k-step versions stay.
                 let now = self.clock.now();
-                for h in &writes {
+                for h in task.written_handles() {
                     if self.final_writer[h.0] == Some(t) {
-                        self.issue_d2h(*h, g, now);
-                        self.cache.mark_flushed(*h);
+                        self.issue_d2h(h, g, now);
+                        self.cache.mark_flushed(h);
                     }
                 }
             }
@@ -583,17 +643,15 @@ impl<'a> SimExecutor<'a> {
             }
             if !self.cfg.cache_inputs {
                 // Re-read runtimes drop clean inputs right after use.
-                let reads: Vec<HandleId> = task.read_handles().collect();
-                for h in reads {
-                    self.cache.drop_replica(h, g, self.graph.data());
+                for h in task.read_handles() {
+                    self.cache.drop_replica(h, g, graph.data());
                 }
             }
             self.gpus[g].in_flight -= 1;
             self.clock.schedule(self.clock.now(), Ev::TryLaunch(g));
         }
         self.tasks_done += 1;
-        let succs: Vec<TaskId> = self.graph.successors(t).to_vec();
-        for s in succs {
+        for &s in graph.successors(t) {
             self.pending[s.0] -= 1;
             if self.pending[s.0] == 0 {
                 self.on_ready(s);

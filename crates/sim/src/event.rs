@@ -63,11 +63,40 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue with heap space for `capacity` events, so the
+    /// hot loop of a simulation never reallocates.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+        }
+    }
+
+    /// Pre-reserves heap space for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// Schedules `event` at absolute time `time`.
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Schedules a batch of events in one call. Sequence numbers are
+    /// assigned in iteration order, so FIFO tie-breaking among equal times
+    /// is identical to pushing them one by one.
+    pub fn push_batch<I>(&mut self, events: I)
+    where
+        I: IntoIterator<Item = (SimTime, E)>,
+    {
+        let it = events.into_iter();
+        let (lower, _) = it.size_hint();
+        self.heap.reserve(lower);
+        for (time, event) in it {
+            self.push(time, event);
+        }
     }
 
     /// Removes and returns the earliest event, if any.
@@ -113,6 +142,20 @@ impl<E> Clock<E> {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
         }
+    }
+
+    /// A clock at time zero whose queue pre-reserves space for `capacity`
+    /// pending events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Clock {
+            now: SimTime::ZERO,
+            queue: EventQueue::with_capacity(capacity),
+        }
+    }
+
+    /// Pre-reserves queue space for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.queue.reserve(additional);
     }
 
     /// Current simulated time (time of the last popped event).
@@ -196,6 +239,36 @@ mod tests {
         c.schedule(SimTime::new(2.0), ());
         c.next();
         c.schedule(SimTime::new(1.0), ());
+    }
+
+    #[test]
+    fn push_batch_matches_individual_pushes() {
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::with_capacity(8);
+        let events = [
+            (SimTime::new(2.0), 'x'),
+            (SimTime::new(1.0), 'y'),
+            (SimTime::new(2.0), 'z'),
+            (SimTime::new(1.0), 'w'),
+        ];
+        for &(t, e) in &events {
+            a.push(t, e);
+        }
+        b.push_batch(events);
+        while let Some(ea) = a.pop() {
+            assert_eq!(Some(ea), b.pop());
+        }
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn reserve_does_not_disturb_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::new(2.0), 1u8);
+        q.reserve(1000);
+        q.push(SimTime::new(1.0), 2u8);
+        assert_eq!(q.pop(), Some((SimTime::new(1.0), 2u8)));
+        assert_eq!(q.pop(), Some((SimTime::new(2.0), 1u8)));
     }
 
     #[test]

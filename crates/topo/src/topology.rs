@@ -317,6 +317,27 @@ impl Topology {
             .collect()
     }
 
+    /// A deterministic 64-bit digest of every table that influences routing
+    /// and timing: the memoization key component that distinguishes runs on
+    /// different platforms (`xk-bench`'s `RunCache`).
+    ///
+    /// Stable within a process (and across processes, since the hasher is
+    /// keyed with zeros); floats are hashed by their bit patterns.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.name.hash(&mut h);
+        self.n_gpus.hash(&mut h);
+        for l in self.gpu_gpu.iter().chain(&self.host_gpu) {
+            l.class.hash(&mut h);
+            l.bandwidth.to_bits().hash(&mut h);
+            l.latency.to_bits().hash(&mut h);
+        }
+        self.gpu_switch.hash(&mut h);
+        self.switch_socket.hash(&mut h);
+        h.finish()
+    }
+
     /// All GPU pairs `(a, b)` with `a < b` connected by at least one NVLink.
     pub fn nvlink_edges(&self) -> Vec<(usize, usize, LinkClass)> {
         let mut edges = Vec::new();
@@ -406,5 +427,14 @@ mod tests {
     fn perf_rank_reads_link_class() {
         let t = tiny();
         assert_eq!(t.perf_rank(0, 1), 2);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_topologies() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        assert_ne!(a.fingerprint(), crate::dgx1().fingerprint());
     }
 }

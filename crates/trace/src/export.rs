@@ -19,7 +19,7 @@ pub fn trace_to_csv(trace: &Trace) -> String {
             s.start,
             s.end,
             s.bytes,
-            s.label.replace(',', ";")
+            trace.label(s.label).replace(',', ";")
         );
     }
     out
@@ -71,6 +71,7 @@ mod tests {
 
     fn t() -> Trace {
         let mut t = Trace::new();
+        let tile = t.intern("tile(0,0)");
         t.push(Span {
             place: Place::Gpu(0),
             lane: 0,
@@ -78,8 +79,9 @@ mod tests {
             start: 0.0,
             end: 0.5,
             bytes: 128,
-            label: "tile(0,0)".into(),
+            label: tile,
         });
+        let dgemm = t.intern("dgemm");
         t.push(Span {
             place: Place::Gpu(1),
             lane: 2,
@@ -87,7 +89,7 @@ mod tests {
             start: 0.5,
             end: 1.5,
             bytes: 0,
-            label: "dgemm".into(),
+            label: dgemm,
         });
         t
     }
@@ -130,6 +132,7 @@ mod tests {
     #[test]
     fn labels_with_commas_are_sanitized() {
         let mut tr = Trace::new();
+        let label = tr.intern("a,b");
         tr.push(Span {
             place: Place::Gpu(0),
             lane: 0,
@@ -137,7 +140,7 @@ mod tests {
             start: 0.0,
             end: 1.0,
             bytes: 0,
-            label: "a,b".into(),
+            label,
         });
         let csv = trace_to_csv(&tr);
         let data_line = csv.lines().nth(1).unwrap();

@@ -118,7 +118,7 @@ pub fn render(trace: &Trace, n_gpus: usize, opts: &GanttOptions) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::span::Span;
+    use crate::span::{Label, Span};
 
     fn t() -> Trace {
         let mut t = Trace::new();
@@ -129,7 +129,7 @@ mod tests {
             start: 0.0,
             end: 0.5,
             bytes: 10,
-            label: String::new(),
+            label: Label::NONE,
         });
         t.push(Span {
             place: Place::Gpu(0),
@@ -138,7 +138,7 @@ mod tests {
             start: 0.5,
             end: 1.0,
             bytes: 0,
-            label: String::new(),
+            label: Label::NONE,
         });
         t.push(Span {
             place: Place::Gpu(1),
@@ -147,7 +147,7 @@ mod tests {
             start: 0.0,
             end: 1.0,
             bytes: 0,
-            label: String::new(),
+            label: Label::NONE,
         });
         t
     }

@@ -12,15 +12,23 @@
 //! * [`Trace::longest_global_gap`] — quantifies the synchronization holes
 //!   visible in Chameleon's composition Gantt.
 //!
+//! Span labels are interned in the owning [`Trace`] ([`Trace::intern`] /
+//! [`Trace::label`]): each [`Span`] stores a `u32` [`Label`] instead of a
+//! cloned `String`, keeping span recording allocation-free in the DES hot
+//! loop.
+//!
 //! ```
 //! use xk_trace::{Trace, Span, SpanKind, Place};
 //!
 //! let mut trace = Trace::new();
+//! let a00 = trace.intern("A(0,0)");
 //! trace.push(Span { place: Place::Gpu(0), lane: 0, kind: SpanKind::H2D,
-//!                   start: 0.0, end: 0.1, bytes: 1 << 20, label: "A(0,0)".into() });
+//!                   start: 0.0, end: 0.1, bytes: 1 << 20, label: a00 });
+//! let dgemm = trace.intern("dgemm");
 //! trace.push(Span { place: Place::Gpu(0), lane: 1, kind: SpanKind::Kernel,
-//!                   start: 0.1, end: 0.5, bytes: 0, label: "dgemm".into() });
+//!                   start: 0.1, end: 0.5, bytes: 0, label: dgemm });
 //! assert!(trace.breakdown().transfer_ratio() < 0.5);
+//! assert_eq!(trace.label(dgemm), "dgemm");
 //! ```
 
 #![warn(missing_docs)]
@@ -32,5 +40,5 @@ mod span;
 mod trace;
 
 pub use gantt::GanttOptions;
-pub use span::{Place, Span, SpanKind};
+pub use span::{Label, Place, Span, SpanKind};
 pub use trace::{Breakdown, Trace};

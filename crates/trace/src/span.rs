@@ -63,6 +63,28 @@ impl std::fmt::Display for Place {
     }
 }
 
+/// An interned span label: an index into the owning [`crate::Trace`]'s
+/// symbol table.
+///
+/// Simulated executors record hundreds of thousands of spans whose labels
+/// repeat a few hundred distinct strings (tile coordinates, kernel names).
+/// Storing a `u32` per span instead of a cloned `String` keeps the DES hot
+/// loop allocation-free; the text is resolved once, at export, via
+/// [`crate::Trace::label`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize, PartialOrd, Ord)]
+pub struct Label(pub u32);
+
+impl Label {
+    /// The empty label: resolves to `""` without occupying a table slot.
+    pub const NONE: Label = Label(u32::MAX);
+}
+
+impl Default for Label {
+    fn default() -> Self {
+        Label::NONE
+    }
+}
+
 /// One timed operation.
 #[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
 pub struct Span {
@@ -81,8 +103,9 @@ pub struct Span {
     pub end: f64,
     /// Payload size for transfers, 0 for kernels.
     pub bytes: u64,
-    /// Short description (kernel name, tile coordinates...).
-    pub label: String,
+    /// Short description (kernel name, tile coordinates...), interned in
+    /// the owning [`crate::Trace`] — resolve with [`crate::Trace::label`].
+    pub label: Label,
 }
 
 impl Span {
@@ -113,9 +136,15 @@ mod tests {
             start: 1.0,
             end: 3.5,
             bytes: 0,
-            label: "dgemm".into(),
+            label: Label::NONE,
         };
         assert!((s.duration() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn label_none_is_default() {
+        assert_eq!(Label::default(), Label::NONE);
+        assert_ne!(Label(0), Label::NONE);
     }
 
     #[test]

@@ -1,15 +1,26 @@
 //! The trace container and its aggregations.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use serde::{Deserialize, Serialize};
 
-use crate::span::{Place, Span, SpanKind};
+use crate::span::{Label, Place, Span, SpanKind};
 
 /// A complete execution trace: every engine operation of a simulated run.
+///
+/// Span labels are interned: each [`Span`] carries a [`Label`] index into
+/// this trace's symbol table ([`Trace::intern`] / [`Trace::label`]), so
+/// recording a span never clones a `String`.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct Trace {
     spans: Vec<Span>,
+    /// Symbol table: `Label(i)` resolves to `labels[i]`.
+    #[serde(default)]
+    labels: Vec<String>,
+    /// Reverse lookup for `intern`; rebuilt lazily after deserialization
+    /// (it is not serialized).
+    #[serde(skip)]
+    index: HashMap<String, u32>,
 }
 
 /// Per-kind cumulated busy time, in seconds.
@@ -68,6 +79,45 @@ impl Trace {
     /// Empty trace.
     pub fn new() -> Self {
         Trace::default()
+    }
+
+    /// Interns `label`, returning its stable [`Label`] index. Interning the
+    /// same string twice returns the same index; the empty string maps to
+    /// [`Label::NONE`] without occupying a table slot.
+    pub fn intern(&mut self, label: &str) -> Label {
+        if label.is_empty() {
+            return Label::NONE;
+        }
+        if self.index.len() != self.labels.len() {
+            // Rebuild after deserialization (the index is not serialized).
+            self.index = self
+                .labels
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (s.clone(), i as u32))
+                .collect();
+        }
+        if let Some(&id) = self.index.get(label) {
+            return Label(id);
+        }
+        let id = self.labels.len() as u32;
+        self.labels.push(label.to_string());
+        self.index.insert(label.to_string(), id);
+        Label(id)
+    }
+
+    /// Resolves an interned label back to its text. [`Label::NONE`] and
+    /// out-of-range labels resolve to `""`.
+    pub fn label(&self, l: Label) -> &str {
+        self.labels
+            .get(l.0 as usize)
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
+    /// The symbol table, indexed by `Label(i)`.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
     }
 
     /// Records one span.
@@ -208,8 +258,14 @@ impl Trace {
     }
 
     /// Merges another trace into this one (used when composing calls).
+    /// The other trace's labels are re-interned into this trace's symbol
+    /// table and its spans remapped accordingly.
     pub fn extend(&mut self, other: Trace) {
-        self.spans.extend(other.spans);
+        let map: Vec<Label> = other.labels.iter().map(|s| self.intern(s)).collect();
+        self.spans.extend(other.spans.into_iter().map(|mut s| {
+            s.label = map.get(s.label.0 as usize).copied().unwrap_or(Label::NONE);
+            s
+        }));
     }
 
     /// Shifts every span by `dt` seconds (sequencing synchronous calls,
@@ -234,7 +290,7 @@ mod tests {
             start,
             end,
             bytes: if kind.is_transfer() { 100 } else { 0 },
-            label: String::new(),
+            label: Label::NONE,
         }
     }
 
@@ -306,5 +362,61 @@ mod tests {
         assert_eq!(t.longest_global_gap(), 0.0);
         assert_eq!(t.breakdown().transfer_ratio(), 0.0);
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn intern_deduplicates_and_resolves() {
+        let mut t = Trace::new();
+        let a = t.intern("gemm(0,1)");
+        let b = t.intern("gemm(2,3)");
+        let a2 = t.intern("gemm(0,1)");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.label(a), "gemm(0,1)");
+        assert_eq!(t.label(b), "gemm(2,3)");
+        assert_eq!(t.labels().len(), 2);
+    }
+
+    #[test]
+    fn empty_label_is_none() {
+        let mut t = Trace::new();
+        assert_eq!(t.intern(""), Label::NONE);
+        assert_eq!(t.label(Label::NONE), "");
+        assert!(t.labels().is_empty());
+    }
+
+    #[test]
+    fn extend_remaps_labels() {
+        let mut a = Trace::new();
+        let la = a.intern("shared");
+        let mut sa = span(Place::Gpu(0), SpanKind::Kernel, 0.0, 1.0);
+        sa.label = la;
+        a.push(sa);
+
+        let mut b = Trace::new();
+        let _ = b.intern("only-in-b");
+        let lb = b.intern("shared");
+        let mut sb = span(Place::Gpu(1), SpanKind::Kernel, 1.0, 2.0);
+        sb.label = lb;
+        b.push(sb);
+
+        a.extend(b);
+        assert_eq!(a.spans().len(), 2);
+        // Both spans must resolve to "shared" in the merged table.
+        for s in a.spans() {
+            assert_eq!(a.label(s.label), "shared");
+        }
+    }
+
+    #[test]
+    fn intern_index_rebuilds_after_deserialization() {
+        let mut t = Trace::new();
+        let a = t.intern("x");
+        let json = serde_json::to_string(&t).unwrap();
+        let mut back: Trace = serde_json::from_str(&json).unwrap();
+        // The reverse index is skipped by serde; interning again must still
+        // deduplicate against the persisted table.
+        assert_eq!(back.intern("x"), a);
+        assert_eq!(back.labels().len(), 1);
     }
 }
