@@ -1,8 +1,14 @@
 //! Micro-benchmarks of the numeric tile kernels (the host-compute path).
+//!
+//! Each GEMM group benches the blocked packed engine against the retained
+//! pre-blocking scalar kernel (`naive`), so criterion reports the engine's
+//! speedup directly; throughput is in flops (criterion's "elements"), so
+//! the reported rate is GFLOP/s.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use xk_kernels::parallel::{par_fill_pattern, par_gemm};
-use xk_kernels::{gemm, trsm, Diag, MatMut, MatRef, Side, Trans, Uplo};
+use xk_kernels::naive::gemm_naive;
+use xk_kernels::parallel::{par_fill_pattern, par_gemm, par_gemm_naive};
+use xk_kernels::{gemm, syrk, trsm, Diag, MatMut, MatRef, Side, Trans, Uplo};
 
 fn bench_gemm_tiles(c: &mut Criterion) {
     let mut group = c.benchmark_group("tile_dgemm");
@@ -14,9 +20,22 @@ fn bench_gemm_tiles(c: &mut Criterion) {
         par_fill_pattern(MatMut::from_slice(&mut b, n, n, n), 2);
         let mut cm = vec![0.0f64; n * n];
         group.throughput(Throughput::Elements((2 * n * n * n) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bench, _| {
             bench.iter(|| {
                 gemm(
+                    Trans::No,
+                    Trans::No,
+                    1.0,
+                    MatRef::from_slice(&a, n, n, n),
+                    MatRef::from_slice(&b, n, n, n),
+                    0.5,
+                    MatMut::from_slice(&mut cm, n, n, n),
+                );
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
+            bench.iter(|| {
+                gemm_naive(
                     Trans::No,
                     Trans::No,
                     1.0,
@@ -31,6 +50,29 @@ fn bench_gemm_tiles(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_syrk_tile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tile_dsyrk");
+    group.sample_size(20);
+    let n = 256usize;
+    let mut a = vec![0.0f64; n * n];
+    par_fill_pattern(MatMut::from_slice(&mut a, n, n, n), 7);
+    let mut cm = vec![0.0f64; n * n];
+    group.throughput(Throughput::Elements((n * n * (n + 1)) as u64));
+    group.bench_function("256", |bench| {
+        bench.iter(|| {
+            syrk(
+                Uplo::Lower,
+                Trans::No,
+                1.0,
+                MatRef::from_slice(&a, n, n, n),
+                0.5,
+                MatMut::from_slice(&mut cm, n, n, n),
+            );
+        });
+    });
+    group.finish();
+}
+
 fn bench_trsm_tile(c: &mut Criterion) {
     let mut group = c.benchmark_group("tile_dtrsm");
     group.sample_size(20);
@@ -42,6 +84,7 @@ fn bench_trsm_tile(c: &mut Criterion) {
     }
     let mut b = vec![0.0f64; n * n];
     par_fill_pattern(MatMut::from_slice(&mut b, n, n, n), 4);
+    group.throughput(Throughput::Elements((n * n * n) as u64));
     group.bench_function("128", |bench| {
         bench.iter(|| {
             trsm(
@@ -68,9 +111,22 @@ fn bench_par_gemm(c: &mut Criterion) {
     par_fill_pattern(MatMut::from_slice(&mut b, n, n, n), 6);
     let mut cm = vec![0.0f64; n * n];
     group.throughput(Throughput::Elements((2 * n * n * n) as u64));
-    group.bench_function("384", |bench| {
+    group.bench_function(BenchmarkId::new("blocked", n), |bench| {
         bench.iter(|| {
             par_gemm(
+                Trans::No,
+                Trans::No,
+                1.0,
+                MatRef::from_slice(&a, n, n, n),
+                MatRef::from_slice(&b, n, n, n),
+                0.0,
+                MatMut::from_slice(&mut cm, n, n, n),
+            );
+        });
+    });
+    group.bench_function(BenchmarkId::new("naive", n), |bench| {
+        bench.iter(|| {
+            par_gemm_naive(
                 Trans::No,
                 Trans::No,
                 1.0,
@@ -84,5 +140,11 @@ fn bench_par_gemm(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gemm_tiles, bench_trsm_tile, bench_par_gemm);
+criterion_group!(
+    benches,
+    bench_gemm_tiles,
+    bench_syrk_tile,
+    bench_trsm_tile,
+    bench_par_gemm
+);
 criterion_main!(benches);

@@ -1,16 +1,20 @@
 //! Machine-readable performance snapshot of the simulator itself.
 //!
-//! Times the three layers this harness optimizes — the discrete-event
-//! queue, one full library simulation, and the small best-tile sweep
-//! (serial/uncached vs rayon-parallel/memoized) — and writes the numbers
-//! to `BENCH_sim.json` (or the path given as the first argument).
+//! Times the four layers this harness optimizes — the discrete-event
+//! queue, one full library simulation, the small best-tile sweep
+//! (serial/uncached vs rayon-parallel/memoized), and the blocked host
+//! compute kernels — and writes the numbers to `BENCH_sim.json` (or the
+//! path given as the first argument).
 
 use std::time::Instant;
 
 use rayon::prelude::*;
 use xk_baselines::{Library, XkVariant};
 use xk_bench::{sweep_series, sweep_series_par, RunCache, SeriesPoint, PAPER_DIMS_SMALL};
-use xk_kernels::Routine;
+use xk_kernels::parallel::{par_fill_pattern, par_gemm, par_gemm_naive};
+use xk_kernels::{
+    gemm, syrk, trsm, Diag, MatMut, MatRef, Routine, Side, Trans, Uplo,
+};
 use xk_sim::{EventQueue, SimTime};
 
 const QUEUE_EVENTS: usize = 1_000_000;
@@ -60,6 +64,123 @@ fn bench_gemm_sim(topo: &xk_topo::Topology, n: usize, tile: usize) -> (usize, f6
     (spans, secs, spans as f64 / secs)
 }
 
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// GFLOP/s of the sequential blocked kernels (`gemm`, `syrk`, `trsm`) at
+/// square sizes, plus blocked vs pre-blocking parallel GEMM at `n = 1024`.
+fn bench_kernels() -> serde_json::Value {
+    const REPS: usize = 3;
+    let gflops = |routine: Routine, n: usize, secs: f64| {
+        routine.flops_square(n as u64) / secs / 1e9
+    };
+
+    let mut per_size = Vec::new();
+    for &n in &[256usize, 512, 1024] {
+        let mut a = vec![0.0f64; n * n];
+        let mut b = vec![0.0f64; n * n];
+        par_fill_pattern(MatMut::from_slice(&mut a, n, n, n), 101);
+        par_fill_pattern(MatMut::from_slice(&mut b, n, n, n), 102);
+        let mut c = vec![0.0f64; n * n];
+
+        let gemm_secs = best_secs(REPS, || {
+            gemm(
+                Trans::No,
+                Trans::No,
+                1.0,
+                MatRef::from_slice(&a, n, n, n),
+                MatRef::from_slice(&b, n, n, n),
+                0.5,
+                MatMut::from_slice(&mut c, n, n, n),
+            );
+        });
+
+        let syrk_secs = best_secs(REPS, || {
+            syrk(
+                Uplo::Lower,
+                Trans::No,
+                1.0,
+                MatRef::from_slice(&a, n, n, n),
+                0.5,
+                MatMut::from_slice(&mut c, n, n, n),
+            );
+        });
+
+        // Dominant diagonal keeps the solve well-conditioned over reps.
+        let mut tri = a.clone();
+        for i in 0..n {
+            tri[i + i * n] = 4.0;
+        }
+        let trsm_secs = best_secs(REPS, || {
+            c.copy_from_slice(&b);
+            trsm(
+                Side::Left,
+                Uplo::Lower,
+                Trans::No,
+                Diag::NonUnit,
+                1.0,
+                MatRef::from_slice(&tri, n, n, n),
+                MatMut::from_slice(&mut c, n, n, n),
+            );
+        });
+
+        per_size.push(serde_json::json!({
+            "n": n,
+            "gemm_gflops": gflops(Routine::Gemm, n, gemm_secs),
+            "syrk_gflops": gflops(Routine::Syrk, n, syrk_secs),
+            "trsm_gflops": gflops(Routine::Trsm, n, trsm_secs),
+        }));
+    }
+
+    // Blocked vs pre-blocking parallel GEMM at the acceptance size.
+    let n = 1024usize;
+    let mut a = vec![0.0f64; n * n];
+    let mut b = vec![0.0f64; n * n];
+    par_fill_pattern(MatMut::from_slice(&mut a, n, n, n), 103);
+    par_fill_pattern(MatMut::from_slice(&mut b, n, n, n), 104);
+    let mut c = vec![0.0f64; n * n];
+    let blocked_secs = best_secs(REPS, || {
+        par_gemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            MatRef::from_slice(&a, n, n, n),
+            MatRef::from_slice(&b, n, n, n),
+            0.0,
+            MatMut::from_slice(&mut c, n, n, n),
+        );
+    });
+    let naive_secs = best_secs(REPS, || {
+        par_gemm_naive(
+            Trans::No,
+            Trans::No,
+            1.0,
+            MatRef::from_slice(&a, n, n, n),
+            MatRef::from_slice(&b, n, n, n),
+            0.0,
+            MatMut::from_slice(&mut c, n, n, n),
+        );
+    });
+
+    serde_json::json!({
+        "reps": REPS,
+        "sequential": per_size,
+        "par_gemm_1024": {
+            "blocked_gflops": gflops(Routine::Gemm, n, blocked_secs),
+            "naive_gflops": gflops(Routine::Gemm, n, naive_secs),
+            "speedup_vs_naive": naive_secs / blocked_secs,
+        },
+    })
+}
+
 fn series_equal(a: &[Vec<SeriesPoint>], b: &[Vec<SeriesPoint>]) -> bool {
     a.len() == b.len()
         && a.iter().zip(b).all(|(sa, sb)| {
@@ -105,6 +226,9 @@ fn main() {
     let identical = series_equal(&serial, &parallel);
     assert!(identical, "parallel sweep diverged from the serial reference");
 
+    eprintln!("host compute kernels (gemm/syrk/trsm GFLOP/s) ...");
+    let kernels = bench_kernels();
+
     eprintln!("small sweep, warm cache ...");
     let t0 = Instant::now();
     let warm: Vec<Vec<SeriesPoint>> = SWEEP_LIBS
@@ -138,6 +262,7 @@ fn main() {
             "warm_cache_seconds": warm_secs,
             "series_identical_to_serial": identical,
         },
+        "kernels": kernels,
         "run_cache": {
             "entries": cache.len(),
             "hits": stats.hits,

@@ -1,0 +1,396 @@
+//! BLIS-style blocked, packed, register-tiled GEMM engine.
+//!
+//! One engine computes `C = alpha * OA * OB + beta * C` for every BLAS-3
+//! routine in the crate. The three classic loops around a register-tiled
+//! microkernel:
+//!
+//! * **`NC`** — column panels of `OB`/`C`, sized so a packed `KC × NC` B
+//!   panel stays resident in the last-level cache;
+//! * **`KC`** — depth blocking; one `KC`-deep panel pair is packed per
+//!   iteration and `beta` is folded into the *first* depth block so `C`
+//!   is streamed exactly once (no separate scaling pass);
+//! * **`MC`** — row panels of `OA`/`C`, sized so the packed `MC × KC` A
+//!   panel fits in L2.
+//!
+//! Operand elements are read through *accessor closures* `OA(i, p)` /
+//! `OB(p, j)` during packing, which is how the four `Trans` combinations,
+//! symmetric mirroring (`sym_at`) and sub-block offsets all share this one
+//! engine: packing materializes whatever the accessor describes into the
+//! fixed micro-panel layout the microkernel expects, and the hot loop never
+//! branches on storage format.
+//!
+//! The microkernel accumulates a full `MR × NR` register tile over fixed
+//! arrays so the compiler unrolls and autovectorizes it for `f32`/`f64`
+//! (fringe tiles are zero-padded in the packed panels and clipped at the
+//! store). Pack buffers are reused thread-locally across calls, so steady
+//! state performs no allocation — important because `par_gemm` and the
+//! parallel executor invoke this engine from many rayon/crossbeam workers.
+
+use std::cell::RefCell;
+
+use crate::scalar::Scalar;
+use crate::types::Trans;
+use crate::view::{MatMut, MatRef};
+
+/// Microkernel register-tile rows (height of one packed `OA` micro-panel).
+pub const MR: usize = 8;
+/// Microkernel register-tile columns (width of one packed `OB` micro-panel).
+pub const NR: usize = 4;
+/// Rows per packed `OA` macro-panel (`MC × KC` elements target L2).
+pub const MC: usize = 128;
+/// Depth of one packed panel pair (the k-dimension block).
+pub const KC: usize = 256;
+/// Columns per packed `OB` macro-panel (`KC × NC` elements target L3).
+pub const NC: usize = 2048;
+/// Diagonal-block order used by the blocked triangular routines
+/// (trmm/trsm substitution blocks, syrk/syr2k diagonal tiles).
+pub const TB: usize = 64;
+
+thread_local! {
+    /// Reusable pack storage. Backed by `u64` words so one pair of buffers
+    /// serves both `f32` and `f64` with correct alignment.
+    static PACK_BUFS: RefCell<(Vec<u64>, Vec<u64>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Runs `f` with this thread's reusable pack buffers viewed as `a_elems` /
+/// `b_elems` scalars (growing them on first use or when a larger problem
+/// arrives; never shrinking).
+fn with_pack_buffers<T: Scalar, R>(
+    a_elems: usize,
+    b_elems: usize,
+    f: impl FnOnce(&mut [T], &mut [T]) -> R,
+) -> R {
+    assert!(
+        std::mem::size_of::<T>() == T::WORD
+            && std::mem::align_of::<T>() <= std::mem::align_of::<u64>(),
+        "Scalar impls must be plain floats no more aligned than u64"
+    );
+    PACK_BUFS.with(|cell| {
+        let mut bufs = cell.borrow_mut();
+        let words = |elems: usize| (elems * T::WORD).div_ceil(std::mem::size_of::<u64>());
+        let (need_a, need_b) = (words(a_elems), words(b_elems));
+        if bufs.0.len() < need_a {
+            bufs.0.resize(need_a, 0);
+        }
+        if bufs.1.len() < need_b {
+            bufs.1.resize(need_b, 0);
+        }
+        let (wa, wb) = &mut *bufs;
+        // SAFETY: both Vecs hold at least `*_elems * T::WORD` bytes, u64
+        // storage is aligned at least as strictly as T (asserted above), any
+        // bit pattern is a valid T, and the two slices come from distinct
+        // allocations so they never alias.
+        let pa = unsafe { std::slice::from_raw_parts_mut(wa.as_mut_ptr().cast::<T>(), a_elems) };
+        let pb = unsafe { std::slice::from_raw_parts_mut(wb.as_mut_ptr().cast::<T>(), b_elems) };
+        f(pa, pb)
+    })
+}
+
+/// Packs `OA[ic..ic+mc, pc..pc+kc]` into micro-panels of `MR` rows.
+///
+/// Layout: panel `ip` holds rows `[ip*MR, ip*MR+MR)` as `kc` contiguous
+/// `MR`-element column slices; rows past `mc` are zero-padded so the
+/// microkernel always runs a full register tile.
+fn pack_a<T: Scalar>(
+    buf: &mut [T],
+    oa: &impl Fn(usize, usize) -> T,
+    ic: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+) {
+    for ip in 0..mc.div_ceil(MR) {
+        let base = ip * kc * MR;
+        let i0 = ic + ip * MR;
+        let rows = MR.min(mc - ip * MR);
+        for p in 0..kc {
+            let dst = &mut buf[base + p * MR..base + (p + 1) * MR];
+            for (r, d) in dst.iter_mut().take(rows).enumerate() {
+                *d = oa(i0 + r, pc + p);
+            }
+            for d in dst.iter_mut().skip(rows) {
+                *d = T::ZERO;
+            }
+        }
+    }
+}
+
+/// Packs `OB[pc..pc+kc, jc..jc+nc]` into micro-panels of `NR` columns
+/// (columns past `nc` zero-padded), mirroring [`pack_a`].
+fn pack_b<T: Scalar>(
+    buf: &mut [T],
+    ob: &impl Fn(usize, usize) -> T,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+) {
+    for jp in 0..nc.div_ceil(NR) {
+        let base = jp * kc * NR;
+        let j0 = jc + jp * NR;
+        let cols = NR.min(nc - jp * NR);
+        for p in 0..kc {
+            let dst = &mut buf[base + p * NR..base + (p + 1) * NR];
+            for (c, d) in dst.iter_mut().take(cols).enumerate() {
+                *d = ob(pc + p, j0 + c);
+            }
+            for d in dst.iter_mut().skip(cols) {
+                *d = T::ZERO;
+            }
+        }
+    }
+}
+
+/// The register-tiled microkernel: a full `MR × NR` rank-`kc` update over
+/// one packed A micro-panel and one packed B micro-panel.
+///
+/// `acc[c * MR + r]` accumulates element `(r, c)`; the fixed-size array and
+/// constant trip counts let the compiler keep the tile in registers and
+/// vectorize the row dimension.
+#[inline]
+fn micro_tile<T: Scalar>(kc: usize, pa: &[T], pb: &[T]) -> [T; MR * NR] {
+    let mut acc = [T::ZERO; MR * NR];
+    for p in 0..kc {
+        let a: &[T; MR] = pa[p * MR..(p + 1) * MR].try_into().unwrap();
+        let b: &[T; NR] = pb[p * NR..(p + 1) * NR].try_into().unwrap();
+        for (c, &bv) in b.iter().enumerate() {
+            for (r, &av) in a.iter().enumerate() {
+                acc[c * MR + r] += av * bv;
+            }
+        }
+    }
+    acc
+}
+
+/// Writes an accumulated register tile back to `C`, clipped to the
+/// `mr × nr` valid fringe: `C = alpha * acc + beta * C`. `beta == 0`
+/// overwrites without reading (NaN-safe, like BLAS).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn store_tile<T: Scalar>(
+    acc: &[T; MR * NR],
+    alpha: T,
+    beta: T,
+    c: &mut MatMut<'_, T>,
+    i0: usize,
+    j0: usize,
+    mr: usize,
+    nr: usize,
+) {
+    for cc in 0..nr {
+        if beta == T::ZERO {
+            for r in 0..mr {
+                c.set(i0 + r, j0 + cc, alpha * acc[cc * MR + r]);
+            }
+        } else if beta == T::ONE {
+            for r in 0..mr {
+                c.update(i0 + r, j0 + cc, |v| v + alpha * acc[cc * MR + r]);
+            }
+        } else {
+            for r in 0..mr {
+                c.update(i0 + r, j0 + cc, |v| beta * v + alpha * acc[cc * MR + r]);
+            }
+        }
+    }
+}
+
+/// Blocked GEMM over element accessors:
+/// `C = alpha * OA * OB + beta * C` with `OA` logically `m × k` and `OB`
+/// logically `k × n`.
+///
+/// This is the engine every routine in the crate routes its bulk updates
+/// through. `beta` is applied by the first depth block's store (skipped
+/// entirely when `beta == 1`), so `C` is read and written exactly once.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_with<T, OA, OB>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    oa: OA,
+    ob: OB,
+    beta: T,
+    mut c: MatMut<'_, T>,
+) where
+    T: Scalar,
+    OA: Fn(usize, usize) -> T,
+    OB: Fn(usize, usize) -> T,
+{
+    debug_assert_eq!(c.nrows(), m);
+    debug_assert_eq!(c.ncols(), n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if alpha == T::ZERO || k == 0 {
+        crate::gemm::scale_in_place(beta, c);
+        return;
+    }
+    let kc_max = KC.min(k);
+    let a_elems = MC.min(m).div_ceil(MR) * MR * kc_max;
+    let b_elems = NC.min(n).div_ceil(NR) * NR * kc_max;
+    with_pack_buffers(a_elems, b_elems, |pa, pb| {
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            for pc in (0..k).step_by(KC) {
+                let kc = KC.min(k - pc);
+                // Fold beta into the first depth block: every C element is
+                // touched exactly once per pc iteration.
+                let beta_eff = if pc == 0 { beta } else { T::ONE };
+                pack_b(pb, &ob, pc, kc, jc, nc);
+                for ic in (0..m).step_by(MC) {
+                    let mc = MC.min(m - ic);
+                    pack_a(pa, &oa, ic, mc, pc, kc);
+                    for jr in (0..nc).step_by(NR) {
+                        let nr = NR.min(nc - jr);
+                        let pb_panel = &pb[(jr / NR) * kc * NR..][..kc * NR];
+                        for ir in (0..mc).step_by(MR) {
+                            let mr = MR.min(mc - ir);
+                            let pa_panel = &pa[(ir / MR) * kc * MR..][..kc * MR];
+                            let acc = micro_tile(kc, pa_panel, pb_panel);
+                            store_tile(&acc, alpha, beta_eff, &mut c, ic + ir, jc + jr, mr, nr);
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Blocked GEMM over matrix views: dispatches the four `Trans` combinations
+/// to concrete accessor instantiations of [`gemm_with`].
+pub(crate) fn gemm_views<T: Scalar>(
+    trans_a: Trans,
+    trans_b: Trans,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    c: MatMut<'_, T>,
+) {
+    let (m, n) = (c.nrows(), c.ncols());
+    let k = match trans_a {
+        Trans::No => a.ncols(),
+        Trans::Yes => a.nrows(),
+    };
+    match (trans_a, trans_b) {
+        (Trans::No, Trans::No) => {
+            gemm_with(m, n, k, alpha, |i, p| a.at(i, p), |p, j| b.at(p, j), beta, c)
+        }
+        (Trans::No, Trans::Yes) => {
+            gemm_with(m, n, k, alpha, |i, p| a.at(i, p), |p, j| b.at(j, p), beta, c)
+        }
+        (Trans::Yes, Trans::No) => {
+            gemm_with(m, n, k, alpha, |i, p| a.at(p, i), |p, j| b.at(p, j), beta, c)
+        }
+        (Trans::Yes, Trans::Yes) => {
+            gemm_with(m, n, k, alpha, |i, p| a.at(p, i), |p, j| b.at(j, p), beta, c)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det_vals(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    /// Engine vs the independent reference for one shape/parameter set.
+    fn check(m: usize, n: usize, k: usize, alpha: f64, beta: f64) {
+        let a = det_vals(m * k, 1);
+        let b = det_vals(k * n, 2);
+        let c0 = det_vals(m * n, 3);
+        let want = crate::reference::ref_gemm(
+            Trans::No,
+            Trans::No,
+            alpha,
+            MatRef::from_slice(&a, m, k, m.max(1)),
+            MatRef::from_slice(&b, k, n, k.max(1)),
+            beta,
+            MatRef::from_slice(&c0, m, n, m),
+        );
+        let mut c = c0.clone();
+        gemm_with(
+            m,
+            n,
+            k,
+            alpha,
+            |i, p| a[i + p * m],
+            |p, j| b[p + j * k],
+            beta,
+            MatMut::from_slice(&mut c, m, n, m),
+        );
+        let d = crate::aux::max_abs_diff(MatRef::from_slice(&c, m, n, m), want.view());
+        assert!(d < 1e-10, "({m},{n},{k}) alpha={alpha} beta={beta}: diff {d}");
+    }
+
+    #[test]
+    fn fringe_shapes_and_kc_boundary() {
+        for &(m, n) in &[(1, 1), (MR - 1, NR + 1), (MR, NR), (MR + 1, NR - 1), (19, 13)] {
+            for &k in &[1, 7, KC - 1, KC, KC + 1] {
+                check(m, n, k, 1.0, 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn beta_zero_overwrites_nan() {
+        let a = vec![1.0f64; 9];
+        let b = vec![1.0f64; 9];
+        let mut c = vec![f64::NAN; 9];
+        gemm_with(
+            3,
+            3,
+            3,
+            1.0,
+            |i, p| a[i + p * 3],
+            |p, j| b[p + j * 3],
+            0.0,
+            MatMut::from_slice(&mut c, 3, 3, 3),
+        );
+        assert!(c.iter().all(|&x| x == 3.0));
+    }
+
+    #[test]
+    fn degenerate_k_and_alpha_scale_only() {
+        let mut c = vec![2.0f64; 4];
+        gemm_with::<f64, _, _>(
+            2,
+            2,
+            0,
+            1.0,
+            |_, _| unreachable!(),
+            |_, _| unreachable!(),
+            0.5,
+            MatMut::from_slice(&mut c, 2, 2, 2),
+        );
+        assert!(c.iter().all(|&x| x == 1.0));
+        gemm_with(
+            2,
+            2,
+            5,
+            0.0,
+            |_, _| 1.0f64,
+            |_, _| 1.0f64,
+            2.0,
+            MatMut::from_slice(&mut c, 2, 2, 2),
+        );
+        assert!(c.iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    fn pack_buffers_are_reused() {
+        // Two calls on the same thread must not corrupt each other.
+        check(MC + 3, NR * 3 + 1, KC + 5, 0.75, 1.0);
+        check(5, 5, 5, -1.0, 0.0);
+    }
+}

@@ -4,9 +4,13 @@ use crate::scalar::Scalar;
 use crate::types::Trans;
 use crate::view::{MatMut, MatRef};
 
-/// Sequential tile GEMM.
+/// Sequential tile GEMM, routed through the blocked/packed engine
+/// ([`crate::blocked`]).
 ///
-/// `C` is `m × n`, `op(A)` is `m × k`, `op(B)` is `k × n`.
+/// `C` is `m × n`, `op(A)` is `m × k`, `op(B)` is `k × n`. When
+/// `beta == 1` the engine never re-reads `C` for scaling; for other betas
+/// the scale is folded into the first depth-block update, so `C` is
+/// streamed exactly once either way.
 ///
 /// # Panics
 /// Panics if the operand dimensions are inconsistent.
@@ -17,7 +21,7 @@ pub fn gemm<T: Scalar>(
     a: MatRef<'_, T>,
     b: MatRef<'_, T>,
     beta: T,
-    mut c: MatMut<'_, T>,
+    c: MatMut<'_, T>,
 ) {
     let (m, n) = (c.nrows(), c.ncols());
     let (am, ak) = trans_a.apply_dims(a.nrows(), a.ncols());
@@ -25,70 +29,7 @@ pub fn gemm<T: Scalar>(
     assert_eq!(am, m, "op(A) rows {am} != C rows {m}");
     assert_eq!(bn, n, "op(B) cols {bn} != C cols {n}");
     assert_eq!(ak, bk, "op(A) cols {ak} != op(B) rows {bk}");
-    let k = ak;
-
-    scale_in_place(beta, c.rb_mut());
-    if alpha == T::ZERO || k == 0 {
-        return;
-    }
-
-    match (trans_a, trans_b) {
-        (Trans::No, Trans::No) => {
-            // Column-axpy formulation: C(:,j) += alpha * B(l,j) * A(:,l).
-            for j in 0..n {
-                for l in 0..k {
-                    let blj = alpha * b.at(l, j);
-                    if blj == T::ZERO {
-                        continue;
-                    }
-                    let acol = a.col(l);
-                    let ccol = c.col_mut(j);
-                    for (ci, &ai) in ccol.iter_mut().zip(acol) {
-                        *ci += blj * ai;
-                    }
-                }
-            }
-        }
-        (Trans::Yes, Trans::No) => {
-            // C(i,j) += alpha * dot(A(:,i), B(:,j)) — both columns contiguous.
-            for j in 0..n {
-                for i in 0..m {
-                    let mut acc = T::ZERO;
-                    for (&x, &y) in a.col(i).iter().zip(b.col(j)) {
-                        acc += x * y;
-                    }
-                    c.update(i, j, |v| v + alpha * acc);
-                }
-            }
-        }
-        (Trans::No, Trans::Yes) => {
-            // C(:,j) += alpha * B(j,l) * A(:,l).
-            for j in 0..n {
-                for l in 0..k {
-                    let bjl = alpha * b.at(j, l);
-                    if bjl == T::ZERO {
-                        continue;
-                    }
-                    let acol = a.col(l);
-                    let ccol = c.col_mut(j);
-                    for (ci, &ai) in ccol.iter_mut().zip(acol) {
-                        *ci += bjl * ai;
-                    }
-                }
-            }
-        }
-        (Trans::Yes, Trans::Yes) => {
-            for j in 0..n {
-                for i in 0..m {
-                    let mut acc = T::ZERO;
-                    for l in 0..k {
-                        acc += a.at(l, i) * b.at(j, l);
-                    }
-                    c.update(i, j, |v| v + alpha * acc);
-                }
-            }
-        }
-    }
+    crate::blocked::gemm_views(trans_a, trans_b, alpha, a, b, beta, c);
 }
 
 /// Scales a matrix in place: `C = beta * C` (handles `beta == 0` by writing

@@ -2,11 +2,15 @@
 //!
 //! Two faces of the same coin:
 //!
-//! * **Numerics** — real, sequential tile kernels over column-major
-//!   (LAPACK-layout) views: [`gemm`], [`symm`], [`syrk`], [`syr2k`],
-//!   [`trmm`], [`trsm`], plus the `la*` auxiliaries and rayon-parallel
-//!   whole-matrix helpers in [`parallel`]. These execute the tiled
-//!   algorithms for correctness testing and real CPU use.
+//! * **Numerics** — real tile kernels over column-major (LAPACK-layout)
+//!   views: [`gemm`], [`symm`], [`syrk`], [`syr2k`], [`trmm`], [`trsm`],
+//!   plus the `la*` auxiliaries and rayon-parallel whole-matrix helpers in
+//!   [`parallel`]. Every routine's bulk update runs on a BLIS-style
+//!   blocked, packed, register-tiled GEMM engine (MC/KC/NC cache blocking,
+//!   thread-local pack buffers, an `MR × NR` microkernel); triangular and
+//!   symmetric structure is handled by block partitioning around that
+//!   engine. The pre-blocking scalar GEMM survives as [`naive::gemm_naive`]
+//!   for baseline benchmarking.
 //! * **Timing** — [`GpuModel`], a calibrated V100 kernel-time model used by
 //!   the simulated executors: the same tile task that *computes* on the CPU
 //!   is *charged* the time cuBLAS would take on the paper's GPU.
@@ -27,8 +31,10 @@
 #![warn(missing_docs)]
 
 pub mod aux;
+mod blocked;
 mod gemm;
 mod helpers;
+pub mod naive;
 pub mod parallel;
 pub mod perfmodel;
 pub mod reference;
@@ -41,6 +47,7 @@ mod trsm;
 mod types;
 mod view;
 
+pub use blocked::{KC, MC, MR, NC, NR, TB};
 pub use gemm::{gemm, scale_in_place};
 pub use helpers::{sym_at, tri_at};
 pub use perfmodel::{GpuModel, TileOp, PITCHED_COPY_FACTOR};

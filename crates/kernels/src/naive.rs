@@ -1,0 +1,134 @@
+//! The pre-blocking scalar GEMM, kept as a benchmark baseline.
+//!
+//! This was the crate's production GEMM before the blocked/packed engine
+//! ([`crate::blocked`]) replaced it. It remains exported for two reasons:
+//! the Criterion benches and `bench_snapshot` measure the blocked engine's
+//! speedup against it, and it is a structurally different second
+//! implementation the tests can cross-check (besides `reference.rs`).
+
+use crate::gemm::scale_in_place;
+use crate::scalar::Scalar;
+use crate::types::Trans;
+use crate::view::{MatMut, MatRef};
+
+/// Naive (unblocked, unpacked) GEMM:
+/// `C = alpha * op(A) * op(B) + beta * C` via column-axpy / dot loops.
+///
+/// # Panics
+/// Panics if the operand dimensions are inconsistent.
+pub fn gemm_naive<T: Scalar>(
+    trans_a: Trans,
+    trans_b: Trans,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
+) {
+    let (m, n) = (c.nrows(), c.ncols());
+    let (am, ak) = trans_a.apply_dims(a.nrows(), a.ncols());
+    let (bk, bn) = trans_b.apply_dims(b.nrows(), b.ncols());
+    assert_eq!(am, m, "op(A) rows {am} != C rows {m}");
+    assert_eq!(bn, n, "op(B) cols {bn} != C cols {n}");
+    assert_eq!(ak, bk, "op(A) cols {ak} != op(B) rows {bk}");
+    let k = ak;
+
+    scale_in_place(beta, c.rb_mut());
+    if alpha == T::ZERO || k == 0 {
+        return;
+    }
+
+    match (trans_a, trans_b) {
+        (Trans::No, Trans::No) => {
+            // Column-axpy formulation: C(:,j) += alpha * B(l,j) * A(:,l).
+            for j in 0..n {
+                for l in 0..k {
+                    let blj = alpha * b.at(l, j);
+                    if blj == T::ZERO {
+                        continue;
+                    }
+                    let acol = a.col(l);
+                    let ccol = c.col_mut(j);
+                    for (ci, &ai) in ccol.iter_mut().zip(acol) {
+                        *ci += blj * ai;
+                    }
+                }
+            }
+        }
+        (Trans::Yes, Trans::No) => {
+            // C(i,j) += alpha * dot(A(:,i), B(:,j)) — both columns contiguous.
+            for j in 0..n {
+                for i in 0..m {
+                    let mut acc = T::ZERO;
+                    for (&x, &y) in a.col(i).iter().zip(b.col(j)) {
+                        acc += x * y;
+                    }
+                    c.update(i, j, |v| v + alpha * acc);
+                }
+            }
+        }
+        (Trans::No, Trans::Yes) => {
+            // C(:,j) += alpha * B(j,l) * A(:,l).
+            for j in 0..n {
+                for l in 0..k {
+                    let bjl = alpha * b.at(j, l);
+                    if bjl == T::ZERO {
+                        continue;
+                    }
+                    let acol = a.col(l);
+                    let ccol = c.col_mut(j);
+                    for (ci, &ai) in ccol.iter_mut().zip(acol) {
+                        *ci += bjl * ai;
+                    }
+                }
+            }
+        }
+        (Trans::Yes, Trans::Yes) => {
+            for j in 0..n {
+                for i in 0..m {
+                    let mut acc = T::ZERO;
+                    for l in 0..k {
+                        acc += a.at(l, i) * b.at(j, l);
+                    }
+                    c.update(i, j, |v| v + alpha * acc);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_and_blocked_agree() {
+        let m = 23;
+        let n = 17;
+        let k = 31;
+        let a: Vec<f64> = (0..m * k).map(|x| (x as f64 * 0.37).sin()).collect();
+        let b: Vec<f64> = (0..k * n).map(|x| (x as f64 * 0.11).cos()).collect();
+        let c0: Vec<f64> = (0..m * n).map(|x| x as f64 * 0.01 - 1.0).collect();
+        for ta in [Trans::No, Trans::Yes] {
+            for tb in [Trans::No, Trans::Yes] {
+                let (am, an) = match ta {
+                    Trans::No => (m, k),
+                    Trans::Yes => (k, m),
+                };
+                let (bm, bn) = match tb {
+                    Trans::No => (k, n),
+                    Trans::Yes => (n, k),
+                };
+                let ar = MatRef::from_slice(&a, am, an, am);
+                let br = MatRef::from_slice(&b, bm, bn, bm);
+                let mut c1 = c0.clone();
+                let mut c2 = c0.clone();
+                gemm_naive(ta, tb, 1.5, ar, br, -0.5, MatMut::from_slice(&mut c1, m, n, m));
+                crate::gemm::gemm(ta, tb, 1.5, ar, br, -0.5, MatMut::from_slice(&mut c2, m, n, m));
+                for (x, y) in c1.iter().zip(&c2) {
+                    assert!((x - y).abs() < 1e-12, "{ta:?}/{tb:?}: {x} vs {y}");
+                }
+            }
+        }
+    }
+}

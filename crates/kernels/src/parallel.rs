@@ -7,7 +7,9 @@
 
 use rayon::prelude::*;
 
+use crate::blocked::{MR, NR};
 use crate::gemm::gemm;
+use crate::naive::gemm_naive;
 use crate::scalar::Scalar;
 use crate::types::Trans;
 use crate::view::{MatMut, MatRef};
@@ -19,9 +21,18 @@ struct SendPtr<T>(*mut T);
 unsafe impl<T: Send> Send for SendPtr<T> {}
 unsafe impl<T: Sync> Sync for SendPtr<T> {}
 
-/// Parallel GEMM: `C = alpha * op(A) * op(B) + beta * C`, parallelized
-/// over column panels of `C` (each panel pairs with a column panel of
-/// `op(B)`, so panels are fully independent).
+/// Parallel GEMM: `C = alpha * op(A) * op(B) + beta * C`, parallelized over
+/// macro-panels of `C` that feed the blocked engine.
+///
+/// The split dimension is chosen from the shape: when `m > n` the work is
+/// divided into row panels (each pairing with a row panel of `op(A)`),
+/// otherwise into column panels (pairing with column panels of `op(B)`).
+/// Panel widths are derived from the matrix — about two panels per rayon
+/// thread, rounded up to a microkernel multiple ([`MR`] rows / [`NR`]
+/// columns) so no worker inherits a fringe-only panel. Matrices too small
+/// to split run the sequential engine directly; in particular a tall-skinny
+/// product (`n < 128`, large `m`) still uses every thread instead of
+/// serializing on a single 64-column panel.
 pub fn par_gemm<T: Scalar>(
     trans_a: Trans,
     trans_b: Trans,
@@ -32,10 +43,61 @@ pub fn par_gemm<T: Scalar>(
     mut c: MatMut<'_, T>,
 ) {
     let (m, n) = (c.nrows(), c.ncols());
-    let panel = 64.max(n / (4 * rayon::current_num_threads().max(1))).min(n.max(1));
     if n == 0 || m == 0 {
         return;
     }
+    let tasks = 2 * rayon::current_num_threads().max(1);
+    let split_rows = m > n;
+    let (dim, unit) = if split_rows { (m, MR) } else { (n, NR) };
+    let panel = dim.div_ceil(tasks).next_multiple_of(unit);
+    if panel >= dim {
+        gemm(trans_a, trans_b, alpha, a, b, beta, c);
+        return;
+    }
+    let ptr = SendPtr(c.rb_mut().col_mut(0).as_mut_ptr());
+    let ld = c.ld();
+    let n_panels = dim.div_ceil(panel);
+    (0..n_panels).into_par_iter().for_each(move |p| {
+        let ptr = ptr; // capture the whole Send wrapper, not its field
+        let x0 = p * panel;
+        let w = panel.min(dim - x0);
+        if split_rows {
+            // SAFETY: panels [x0, x0+w) are disjoint row ranges of C.
+            let c_panel = unsafe { MatMut::from_raw(ptr.0.add(x0), w, n, ld) };
+            let a_panel = match trans_a {
+                Trans::No => a.submatrix(x0, 0, w, a.ncols()),
+                Trans::Yes => a.submatrix(0, x0, a.nrows(), w),
+            };
+            gemm(trans_a, trans_b, alpha, a_panel, b, beta, c_panel);
+        } else {
+            // SAFETY: panels [x0, x0+w) are disjoint column ranges of C.
+            let c_panel = unsafe { MatMut::from_raw(ptr.0.add(x0 * ld), m, w, ld) };
+            let b_panel = match trans_b {
+                Trans::No => b.submatrix(0, x0, b.nrows(), w),
+                Trans::Yes => b.submatrix(x0, 0, w, b.ncols()),
+            };
+            gemm(trans_a, trans_b, alpha, a, b_panel, beta, c_panel);
+        }
+    });
+}
+
+/// The pre-blocking parallel GEMM: fixed-width column panels (64-column
+/// floor) over the scalar [`gemm_naive`] kernel. Kept as the benchmark
+/// baseline for the blocked engine speedup measurement.
+pub fn par_gemm_naive<T: Scalar>(
+    trans_a: Trans,
+    trans_b: Trans,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
+) {
+    let (m, n) = (c.nrows(), c.ncols());
+    if n == 0 || m == 0 {
+        return;
+    }
+    let panel = 64.max(n / (4 * rayon::current_num_threads().max(1))).min(n.max(1));
     let ptr = SendPtr(c.rb_mut().col_mut(0).as_mut_ptr());
     let ld = c.ld();
     let n_panels = n.div_ceil(panel);
@@ -49,7 +111,7 @@ pub fn par_gemm<T: Scalar>(
             Trans::No => b.submatrix(0, j0, b.nrows(), nn),
             Trans::Yes => b.submatrix(j0, 0, nn, b.ncols()),
         };
-        gemm(trans_a, trans_b, alpha, a, b_panel, beta, c_panel);
+        gemm_naive(trans_a, trans_b, alpha, a, b_panel, beta, c_panel);
     });
 }
 
@@ -155,6 +217,112 @@ mod tests {
             MatRef::from_slice(&c_seq, m, n, m),
         );
         assert!(d < 1e-12);
+    }
+
+    #[test]
+    fn par_gemm_row_split_matches_sequential() {
+        // Tall-skinny: m >> n triggers the row-panel split (the old
+        // column-only panelling serialized this shape).
+        let (m, n, k) = (301, 9, 37);
+        let mut a = vec![0.0f64; m * k];
+        let mut b = vec![0.0f64; k * n];
+        par_fill_pattern(MatMut::from_slice(&mut a, m, k, m), 11);
+        par_fill_pattern(MatMut::from_slice(&mut b, k, n, k), 12);
+        let mut c_par = vec![0.5f64; m * n];
+        let mut c_seq = vec![0.5f64; m * n];
+        par_gemm(
+            Trans::No,
+            Trans::No,
+            1.5,
+            MatRef::from_slice(&a, m, k, m),
+            MatRef::from_slice(&b, k, n, k),
+            -1.0,
+            MatMut::from_slice(&mut c_par, m, n, m),
+        );
+        gemm(
+            Trans::No,
+            Trans::No,
+            1.5,
+            MatRef::from_slice(&a, m, k, m),
+            MatRef::from_slice(&b, k, n, k),
+            -1.0,
+            MatMut::from_slice(&mut c_seq, m, n, m),
+        );
+        let d = max_abs_diff(
+            MatRef::from_slice(&c_par, m, n, m),
+            MatRef::from_slice(&c_seq, m, n, m),
+        );
+        assert!(d < 1e-12, "row-split par/seq diverged by {d}");
+    }
+
+    #[test]
+    fn par_gemm_row_split_trans_a_matches_sequential() {
+        // trans_a = Yes with m > n: the row panel pairs with a column
+        // range of the stored A.
+        let (m, n, k) = (129, 17, 31);
+        let mut a = vec![0.0f64; k * m]; // stored k x m for trans_a = Yes
+        let mut b = vec![0.0f64; k * n];
+        par_fill_pattern(MatMut::from_slice(&mut a, k, m, k), 13);
+        par_fill_pattern(MatMut::from_slice(&mut b, k, n, k), 14);
+        let mut c_par = vec![0.0f64; m * n];
+        let mut c_seq = vec![0.0f64; m * n];
+        par_gemm(
+            Trans::Yes,
+            Trans::No,
+            1.0,
+            MatRef::from_slice(&a, k, m, k),
+            MatRef::from_slice(&b, k, n, k),
+            0.0,
+            MatMut::from_slice(&mut c_par, m, n, m),
+        );
+        gemm(
+            Trans::Yes,
+            Trans::No,
+            1.0,
+            MatRef::from_slice(&a, k, m, k),
+            MatRef::from_slice(&b, k, n, k),
+            0.0,
+            MatMut::from_slice(&mut c_seq, m, n, m),
+        );
+        let d = max_abs_diff(
+            MatRef::from_slice(&c_par, m, n, m),
+            MatRef::from_slice(&c_seq, m, n, m),
+        );
+        assert!(d < 1e-12);
+    }
+
+    #[test]
+    fn par_gemm_naive_matches_blocked_par_gemm() {
+        let (m, n, k) = (83, 140, 29);
+        let mut a = vec![0.0f64; m * k];
+        let mut b = vec![0.0f64; k * n];
+        par_fill_pattern(MatMut::from_slice(&mut a, m, k, m), 21);
+        par_fill_pattern(MatMut::from_slice(&mut b, k, n, k), 22);
+        let mut c_new = vec![0.25f64; m * n];
+        let mut c_old = vec![0.25f64; m * n];
+        par_gemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            MatRef::from_slice(&a, m, k, m),
+            MatRef::from_slice(&b, k, n, k),
+            2.0,
+            MatMut::from_slice(&mut c_new, m, n, m),
+        );
+        par_gemm_naive(
+            Trans::No,
+            Trans::No,
+            1.0,
+            MatRef::from_slice(&a, m, k, m),
+            MatRef::from_slice(&b, k, n, k),
+            2.0,
+            MatMut::from_slice(&mut c_old, m, n, m),
+        );
+        let d = max_abs_diff(
+            MatRef::from_slice(&c_new, m, n, m),
+            MatRef::from_slice(&c_old, m, n, m),
+        );
+        assert!(d < 1e-10, "blocked and naive parallel paths diverged by {d}");
     }
 
     #[test]

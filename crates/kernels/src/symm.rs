@@ -2,15 +2,18 @@
 //! `C = alpha * A * B + beta * C` (left) or `C = alpha * B * A + beta * C`
 //! (right), with `A` symmetric and only its `uplo` triangle stored.
 
-use crate::gemm::scale_in_place;
+use crate::blocked::gemm_with;
 use crate::helpers::sym_at;
 use crate::scalar::Scalar;
 use crate::types::{Side, Uplo};
 use crate::view::{MatMut, MatRef};
 
-/// Sequential tile SYMM.
+/// Sequential tile SYMM, routed through the blocked GEMM engine.
 ///
-/// `C` is `m × n`; `A` is `m × m` (left) or `n × n` (right).
+/// `C` is `m × n`; `A` is `m × m` (left) or `n × n` (right). The symmetric
+/// operand is read through [`sym_at`] during packing, so the mirrored
+/// triangle never has to be materialized and the hot loop is the same
+/// register-tiled microkernel as [`crate::gemm`].
 ///
 /// # Panics
 /// Panics on inconsistent dimensions.
@@ -21,7 +24,7 @@ pub fn symm<T: Scalar>(
     a: MatRef<'_, T>,
     b: MatRef<'_, T>,
     beta: T,
-    mut c: MatMut<'_, T>,
+    c: MatMut<'_, T>,
 ) {
     let (m, n) = (c.nrows(), c.ncols());
     match side {
@@ -39,36 +42,27 @@ pub fn symm<T: Scalar>(
         }
     }
 
-    scale_in_place(beta, c.rb_mut());
-    if alpha == T::ZERO {
-        return;
-    }
-
     match side {
-        Side::Left => {
-            // C(i,j) += alpha * sum_l sym(A)(i,l) * B(l,j)
-            for j in 0..n {
-                for i in 0..m {
-                    let mut acc = T::ZERO;
-                    for l in 0..m {
-                        acc += sym_at(&a, uplo, i, l) * b.at(l, j);
-                    }
-                    c.update(i, j, |v| v + alpha * acc);
-                }
-            }
-        }
-        Side::Right => {
-            // C(i,j) += alpha * sum_l B(i,l) * sym(A)(l,j)
-            for j in 0..n {
-                for i in 0..m {
-                    let mut acc = T::ZERO;
-                    for l in 0..n {
-                        acc += b.at(i, l) * sym_at(&a, uplo, l, j);
-                    }
-                    c.update(i, j, |v| v + alpha * acc);
-                }
-            }
-        }
+        Side::Left => gemm_with(
+            m,
+            n,
+            m,
+            alpha,
+            |i, l| sym_at(&a, uplo, i, l),
+            |l, j| b.at(l, j),
+            beta,
+            c,
+        ),
+        Side::Right => gemm_with(
+            m,
+            n,
+            n,
+            alpha,
+            |i, l| b.at(i, l),
+            |l, j| sym_at(&a, uplo, l, j),
+            beta,
+            c,
+        ),
     }
 }
 

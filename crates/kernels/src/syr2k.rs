@@ -2,15 +2,20 @@
 //! `C = alpha * (op(A) * op(B)^T + op(B) * op(A)^T) + beta * C`,
 //! updating only the `uplo` triangle of `C`.
 
+use crate::blocked::{gemm_with, TB};
 use crate::scalar::Scalar;
-use crate::syrk::scale_triangle;
+use crate::syrk::{merge_triangle, scale_triangle};
 use crate::types::{Trans, Uplo};
 use crate::view::{MatMut, MatRef};
 
-/// Sequential tile SYR2K.
+/// Sequential tile SYR2K, routed through the blocked GEMM engine.
 ///
 /// With `trans == No`, `A` and `B` are `n × k`; with `trans == Yes` they
-/// are `k × n` and the update is `A^T B + B^T A`.
+/// are `k × n` and the update is `A^T B + B^T A`. Like [`crate::syrk`],
+/// the stored triangle is partitioned into [`TB`]-order block columns whose
+/// rectangular parts are engine panel updates (two per block: the
+/// `op(A) op(B)^T` term with `beta`, the `op(B) op(A)^T` term
+/// accumulating) and whose diagonal blocks go through a dense scratch tile.
 ///
 /// # Panics
 /// Panics on inconsistent dimensions or non-square `C`.
@@ -40,29 +45,75 @@ pub fn syr2k<T: Scalar>(
         }
     };
 
-    scale_triangle(beta, uplo, c.rb_mut());
     if alpha == T::ZERO || k == 0 {
+        scale_triangle(beta, uplo, c.rb_mut());
         return;
     }
 
-    let op = |m: &MatRef<'_, T>, i: usize, l: usize| -> T {
+    let op_a = |i: usize, l: usize| -> T {
         match trans {
-            Trans::No => m.at(i, l),
-            Trans::Yes => m.at(l, i),
+            Trans::No => a.at(i, l),
+            Trans::Yes => a.at(l, i),
+        }
+    };
+    let op_b = |i: usize, l: usize| -> T {
+        match trans {
+            Trans::No => b.at(i, l),
+            Trans::Yes => b.at(l, i),
         }
     };
 
-    for j in 0..n {
-        let (lo, hi) = match uplo {
-            Uplo::Lower => (j, n),
-            Uplo::Upper => (0, j + 1),
+    let mut tmp = vec![T::ZERO; TB * TB];
+    for jb in (0..n).step_by(TB) {
+        let nb = TB.min(n - jb);
+        // Diagonal block: op(A) op(B)^T + op(B) op(A)^T into scratch.
+        gemm_with(
+            nb,
+            nb,
+            k,
+            T::ONE,
+            |i, p| op_a(jb + i, p),
+            |p, j| op_b(jb + j, p),
+            T::ZERO,
+            MatMut::from_slice(&mut tmp, nb, nb, nb),
+        );
+        gemm_with(
+            nb,
+            nb,
+            k,
+            T::ONE,
+            |i, p| op_b(jb + i, p),
+            |p, j| op_a(jb + j, p),
+            T::ONE,
+            MatMut::from_slice(&mut tmp, nb, nb, nb),
+        );
+        merge_triangle(uplo, alpha, &tmp, nb, beta, &mut c, jb);
+        // Rectangular remainder of the block column: two engine panels.
+        let (i0, mb) = match uplo {
+            Uplo::Lower => (jb + nb, n.saturating_sub(jb + nb)),
+            Uplo::Upper => (0, jb),
         };
-        for i in lo..hi {
-            let mut acc = T::ZERO;
-            for l in 0..k {
-                acc += op(&a, i, l) * op(&b, j, l) + op(&b, i, l) * op(&a, j, l);
-            }
-            c.update(i, j, |v| v + alpha * acc);
+        if mb > 0 {
+            gemm_with(
+                mb,
+                nb,
+                k,
+                alpha,
+                |i, p| op_a(i0 + i, p),
+                |p, j| op_b(jb + j, p),
+                beta,
+                c.submatrix_mut(i0, jb, mb, nb),
+            );
+            gemm_with(
+                mb,
+                nb,
+                k,
+                alpha,
+                |i, p| op_b(i0 + i, p),
+                |p, j| op_a(jb + j, p),
+                T::ONE,
+                c.submatrix_mut(i0, jb, mb, nb),
+            );
         }
     }
 }

@@ -2,6 +2,8 @@
 //! `B = alpha * op(A) * B` (left) or `B = alpha * B * op(A)` (right),
 //! with `A` triangular.
 
+use crate::blocked::TB;
+use crate::gemm::gemm;
 use crate::helpers::tri_at;
 use crate::scalar::Scalar;
 use crate::types::{Diag, Side, Trans, Uplo};
@@ -11,6 +13,13 @@ use crate::view::{MatMut, MatRef};
 ///
 /// `A` is `m × m` (left) or `n × n` (right) with only its `uplo` triangle
 /// referenced; `diag == Unit` treats the diagonal as ones.
+///
+/// The triangular dimension is partitioned into [`TB`]-order blocks
+/// processed in an order where every cross-block contribution reads rows
+/// (columns) of `B` that still hold their *old* values: each block of `B`
+/// takes one unblocked triangular multiply against the diagonal block of
+/// `op(A)` plus one blocked-GEMM accumulation of the entire off-diagonal
+/// strip, so the bulk of the flops run on the packed engine.
 ///
 /// # Panics
 /// Panics on inconsistent dimensions.
@@ -38,6 +47,100 @@ pub fn trmm<T: Scalar>(
         b.fill(T::ZERO);
         return;
     }
+    if m == 0 || n == 0 {
+        return;
+    }
+
+    // Is op(A) lower-triangular? (trans flips the triangle.)
+    let op_lower = matches!((uplo, trans), (Uplo::Lower, Trans::No) | (Uplo::Upper, Trans::Yes));
+    let ld = b.ld();
+    let bptr = b.rb_mut().col_mut(0).as_mut_ptr();
+
+    match side {
+        Side::Left => {
+            // new B_i = op(A)_ii B_i + sum over the off-diagonal strip of
+            // op(A)'s row block i, which reads B rows on the `op_lower` side
+            // of the diagonal — processing blocks away from that side leaves
+            // those rows untouched (old) until they are themselves updated.
+            let nblocks = m.div_ceil(TB);
+            for step in 0..nblocks {
+                let ib = if op_lower { nblocks - 1 - step } else { step };
+                let i0 = ib * TB;
+                let mb = TB.min(m - i0);
+                // SAFETY: the mutable row block [i0, i0+mb) and the read
+                // strip (strictly before/after it) are disjoint row ranges
+                // of B.
+                let mut b_i = unsafe { MatMut::from_raw(bptr.add(i0), mb, n, ld) };
+                trmm_unblocked(
+                    Side::Left,
+                    uplo,
+                    trans,
+                    diag,
+                    alpha,
+                    a.submatrix(i0, i0, mb, mb),
+                    b_i.rb_mut(),
+                );
+                let (lo, hi) = if op_lower { (0, i0) } else { (i0 + mb, m) };
+                if hi > lo {
+                    let lw = hi - lo;
+                    let b_old =
+                        unsafe { MatRef::from_raw(bptr.add(lo).cast_const(), lw, n, ld) };
+                    // op(A)[i0.., lo..] lies strictly off the diagonal, i.e.
+                    // entirely inside the stored triangle: read it densely.
+                    let a_strip = match trans {
+                        Trans::No => a.submatrix(i0, lo, mb, lw),
+                        Trans::Yes => a.submatrix(lo, i0, lw, mb),
+                    };
+                    gemm(trans, Trans::No, alpha, a_strip, b_old, T::ONE, b_i);
+                }
+            }
+        }
+        Side::Right => {
+            // new B_j = B_j op(A)_jj + sum of old B column blocks against
+            // op(A)'s column block j.
+            let nblocks = n.div_ceil(TB);
+            for step in 0..nblocks {
+                let jb = if op_lower { step } else { nblocks - 1 - step };
+                let j0 = jb * TB;
+                let nb = TB.min(n - j0);
+                // SAFETY: disjoint column ranges of B.
+                let mut b_j = unsafe { MatMut::from_raw(bptr.add(j0 * ld), m, nb, ld) };
+                trmm_unblocked(
+                    Side::Right,
+                    uplo,
+                    trans,
+                    diag,
+                    alpha,
+                    a.submatrix(j0, j0, nb, nb),
+                    b_j.rb_mut(),
+                );
+                let (lo, hi) = if op_lower { (j0 + nb, n) } else { (0, j0) };
+                if hi > lo {
+                    let lw = hi - lo;
+                    let b_old =
+                        unsafe { MatRef::from_raw(bptr.add(lo * ld).cast_const(), m, lw, ld) };
+                    let a_strip = match trans {
+                        Trans::No => a.submatrix(lo, j0, lw, nb),
+                        Trans::Yes => a.submatrix(j0, lo, nb, lw),
+                    };
+                    gemm(Trans::No, trans, alpha, b_old, a_strip, T::ONE, b_j);
+                }
+            }
+        }
+    }
+}
+
+/// Unblocked TRMM used for the diagonal blocks of the blocked algorithm.
+fn trmm_unblocked<T: Scalar>(
+    side: Side,
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    alpha: T,
+    a: MatRef<'_, T>,
+    mut b: MatMut<'_, T>,
+) {
+    let (m, n) = (b.nrows(), b.ncols());
 
     // op(A)(i, l): a triangular read honoring trans/uplo/diag.
     let op_a = |i: usize, l: usize| -> T {

@@ -2,6 +2,8 @@
 //! `B = alpha * inv(op(A)) * B` (left) or `B = alpha * B * inv(op(A))`
 //! (right), with `A` triangular.
 
+use crate::blocked::TB;
+use crate::gemm::gemm;
 use crate::helpers::tri_at;
 use crate::scalar::Scalar;
 use crate::types::{Diag, Side, Trans, Uplo};
@@ -11,6 +13,13 @@ use crate::view::{MatMut, MatRef};
 ///
 /// Solves `op(A) * X = alpha * B` (left) or `X * op(A) = alpha * B` (right)
 /// and stores `X` in `B`.
+///
+/// Classic blocked substitution: the triangular dimension is split into
+/// [`TB`]-order blocks; each block of `B` is first updated with a blocked-GEMM
+/// accumulation of the already-solved blocks (`B_i ← alpha B_i − strip · X`,
+/// with `alpha` folded in as the GEMM `beta`), then finished with an
+/// unblocked substitution against the diagonal block. The GEMM-update half
+/// of the flops therefore runs on the packed register-tiled engine.
 ///
 /// # Panics
 /// Panics on inconsistent dimensions. Dividing by an (exactly) zero diagonal
@@ -39,6 +48,105 @@ pub fn trsm<T: Scalar>(
         b.fill(T::ZERO);
         return;
     }
+    if m == 0 || n == 0 {
+        return;
+    }
+
+    // Is op(A) lower-triangular? (trans flips the triangle.)
+    let op_lower = matches!((uplo, trans), (Uplo::Lower, Trans::No) | (Uplo::Upper, Trans::Yes));
+    let ld = b.ld();
+    let bptr = b.rb_mut().col_mut(0).as_mut_ptr();
+
+    match side {
+        Side::Left => {
+            // Row-block substitution: op(A)_ii X_i = alpha B_i − sum of
+            // op(A)'s off-diagonal strip against already-solved X blocks.
+            // Lower op(A) solves top-down, upper bottom-up, so the strip
+            // always references finished blocks.
+            let nblocks = m.div_ceil(TB);
+            for step in 0..nblocks {
+                let ib = if op_lower { step } else { nblocks - 1 - step };
+                let i0 = ib * TB;
+                let mb = TB.min(m - i0);
+                // SAFETY: the mutable row block and the solved strip are
+                // disjoint row ranges of B.
+                let mut b_i = unsafe { MatMut::from_raw(bptr.add(i0), mb, n, ld) };
+                let (lo, hi) = if op_lower { (0, i0) } else { (i0 + mb, m) };
+                let eff_alpha = if hi > lo {
+                    let lw = hi - lo;
+                    let x_solved =
+                        unsafe { MatRef::from_raw(bptr.add(lo).cast_const(), lw, n, ld) };
+                    // Strictly off-diagonal strip of op(A): stored densely.
+                    let a_strip = match trans {
+                        Trans::No => a.submatrix(i0, lo, mb, lw),
+                        Trans::Yes => a.submatrix(lo, i0, lw, mb),
+                    };
+                    gemm(trans, Trans::No, -T::ONE, a_strip, x_solved, alpha, b_i.rb_mut());
+                    T::ONE
+                } else {
+                    alpha
+                };
+                trsm_unblocked(
+                    Side::Left,
+                    uplo,
+                    trans,
+                    diag,
+                    eff_alpha,
+                    a.submatrix(i0, i0, mb, mb),
+                    b_i,
+                );
+            }
+        }
+        Side::Right => {
+            // Column-block substitution: X_j op(A)_jj = alpha B_j − solved X
+            // blocks against op(A)'s column block j. Lower op(A) solves
+            // right-to-left, upper left-to-right.
+            let nblocks = n.div_ceil(TB);
+            for step in 0..nblocks {
+                let jb = if op_lower { nblocks - 1 - step } else { step };
+                let j0 = jb * TB;
+                let nb = TB.min(n - j0);
+                // SAFETY: disjoint column ranges of B.
+                let mut b_j = unsafe { MatMut::from_raw(bptr.add(j0 * ld), m, nb, ld) };
+                let (lo, hi) = if op_lower { (j0 + nb, n) } else { (0, j0) };
+                let eff_alpha = if hi > lo {
+                    let lw = hi - lo;
+                    let x_solved =
+                        unsafe { MatRef::from_raw(bptr.add(lo * ld).cast_const(), m, lw, ld) };
+                    let a_strip = match trans {
+                        Trans::No => a.submatrix(lo, j0, lw, nb),
+                        Trans::Yes => a.submatrix(j0, lo, nb, lw),
+                    };
+                    gemm(Trans::No, trans, -T::ONE, x_solved, a_strip, alpha, b_j.rb_mut());
+                    T::ONE
+                } else {
+                    alpha
+                };
+                trsm_unblocked(
+                    Side::Right,
+                    uplo,
+                    trans,
+                    diag,
+                    eff_alpha,
+                    a.submatrix(j0, j0, nb, nb),
+                    b_j,
+                );
+            }
+        }
+    }
+}
+
+/// Unblocked TRSM used for the diagonal blocks of the blocked algorithm.
+fn trsm_unblocked<T: Scalar>(
+    side: Side,
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    alpha: T,
+    a: MatRef<'_, T>,
+    mut b: MatMut<'_, T>,
+) {
+    let (m, n) = (b.nrows(), b.ncols());
 
     // Effective triangular element of op(A).
     let op_a = |i: usize, l: usize| -> T {

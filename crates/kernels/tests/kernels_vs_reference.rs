@@ -3,9 +3,10 @@
 
 use proptest::prelude::*;
 use xk_kernels::aux::{max_abs_diff, max_abs_diff_tri};
+use xk_kernels::parallel::par_gemm;
 use xk_kernels::reference as r;
 use xk_kernels::{
-    gemm, symm, syr2k, syrk, trmm, trsm, Diag, MatMut, MatRef, Side, Trans, Uplo,
+    gemm, symm, syr2k, syrk, trmm, trsm, Diag, MatMut, MatRef, Side, Trans, Uplo, MR, NR, TB,
 };
 
 fn vals(n: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -183,6 +184,122 @@ proptest! {
         for (x, y) in c32.iter().zip(&c64) {
             prop_assert!((f64::from(*x) - y).abs() < 1e-4);
         }
+    }
+}
+
+/// A dimension strategy biased toward the blocked engine's tile and block
+/// boundaries (`MR`/`NR` register tiles, `TB` triangular blocks) where
+/// fringe handling lives, plus ordinary in-between values.
+fn boundary_dim() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(1),
+        Just(MR - 1),
+        Just(MR),
+        Just(MR + 1),
+        Just(NR + 1),
+        Just(3 * MR + 2),
+        Just(TB - 1),
+        Just(TB),
+        Just(TB + 1),
+        Just(TB + NR + 3),
+        1usize..(2 * TB),
+    ]
+}
+
+/// Degenerate-prone scaling factors: the alpha/beta fast paths (`0`, `1`)
+/// plus a generic value.
+fn edge_scale() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.0), Just(1.0), Just(-0.5), Just(0.75)]
+}
+
+proptest! {
+    // Larger shapes are costlier per case; the boundary strategies make
+    // each case count.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The blocked engine at fringe/boundary shapes, including `k = 0` and
+    /// the alpha/beta fast paths, against the reference path.
+    #[test]
+    fn gemm_blocked_boundaries(
+        m in boundary_dim(), n in boundary_dim(),
+        k in prop_oneof![Just(0usize), Just(1), Just(MR), Just(TB), 1usize..96],
+        ta in any_trans(), tb in any_trans(),
+        alpha in edge_scale(), beta in edge_scale(),
+        seed in 0u64..1000,
+    ) {
+        let (am, an) = match ta { Trans::No => (m, k), Trans::Yes => (k, m) };
+        let (bm, bn) = match tb { Trans::No => (k, n), Trans::Yes => (n, k) };
+        let a = det_vals(am * an, seed);
+        let b = det_vals(bm * bn, seed + 1);
+        let c0 = det_vals(m * n, seed + 2);
+        let ar = MatRef::from_slice(&a, am, an, am.max(1));
+        let br = MatRef::from_slice(&b, bm, bn, bm.max(1));
+        let want = r::ref_gemm(ta, tb, alpha, ar, br, beta, MatRef::from_slice(&c0, m, n, m));
+        let mut c = c0.clone();
+        gemm(ta, tb, alpha, ar, br, beta, MatMut::from_slice(&mut c, m, n, m));
+        let d = max_abs_diff(MatRef::from_slice(&c, m, n, m), want.view());
+        prop_assert!(d < TOL, "diff {d}");
+    }
+
+    /// par_gemm (shape-adaptive panel split) agrees with sequential gemm on
+    /// shapes that exercise both the row- and column-split paths.
+    #[test]
+    fn par_gemm_boundaries(
+        m in boundary_dim(), n in boundary_dim(), k in 1usize..64,
+        ta in any_trans(), tb in any_trans(),
+        alpha in edge_scale(), beta in edge_scale(),
+        seed in 0u64..1000,
+    ) {
+        let (am, an) = match ta { Trans::No => (m, k), Trans::Yes => (k, m) };
+        let (bm, bn) = match tb { Trans::No => (k, n), Trans::Yes => (n, k) };
+        let a = det_vals(am * an, seed);
+        let b = det_vals(bm * bn, seed + 1);
+        let c0 = det_vals(m * n, seed + 2);
+        let ar = MatRef::from_slice(&a, am, an, am.max(1));
+        let br = MatRef::from_slice(&b, bm, bn, bm.max(1));
+        let mut c_seq = c0.clone();
+        gemm(ta, tb, alpha, ar, br, beta, MatMut::from_slice(&mut c_seq, m, n, m));
+        let mut c_par = c0.clone();
+        par_gemm(ta, tb, alpha, ar, br, beta, MatMut::from_slice(&mut c_par, m, n, m));
+        let d = max_abs_diff(
+            MatRef::from_slice(&c_par, m, n, m),
+            MatRef::from_slice(&c_seq, m, n, m),
+        );
+        prop_assert!(d < TOL, "par/seq diff {d}");
+    }
+
+    /// trmm/trsm at sizes crossing the `TB` block boundary, where the
+    /// blocked substitution path (diag block + GEMM strip) is active.
+    #[test]
+    fn tr_routines_blocked_boundaries(
+        m in prop_oneof![Just(TB - 1), Just(TB), Just(TB + 1), Just(TB + NR + 3)],
+        n in 1usize..24,
+        side in any_side(), uplo in any_uplo(),
+        trans in any_trans(), diag in any_diag(),
+        seed in 0u64..1000,
+    ) {
+        let na = match side { Side::Left => m, Side::Right => n };
+        let mut a = det_vals(na * na, seed);
+        for i in 0..na {
+            a[i + i * na] = 3.0 + a[i + i * na].abs();
+        }
+        let b0 = det_vals(m * n, seed + 1);
+        let ar = MatRef::from_slice(&a, na, na, na);
+
+        let want = r::ref_trmm(side, uplo, trans, diag, 1.5, ar, MatRef::from_slice(&b0, m, n, m));
+        let mut b = b0.clone();
+        trmm(side, uplo, trans, diag, 1.5, ar, MatMut::from_slice(&mut b, m, n, m));
+        let d = max_abs_diff(MatRef::from_slice(&b, m, n, m), want.view());
+        prop_assert!(d < TOL, "trmm diff {d}");
+
+        let mut x = b0.clone();
+        trsm(side, uplo, trans, diag, 1.5, ar, MatMut::from_slice(&mut x, m, n, m));
+        let res = r::trsm_residual(
+            side, uplo, trans, diag, 1.5, ar,
+            MatRef::from_slice(&x, m, n, m),
+            MatRef::from_slice(&b0, m, n, m),
+        );
+        prop_assert!(res < 1e-8, "trsm residual {res}");
     }
 }
 
