@@ -1,0 +1,65 @@
+//! Criterion groups for the million-task substrate: `graph_build`
+//! (CSR submission path vs the seed's HashMap/per-task-Vec replica) and
+//! `par_release` (parking work-stealing executor throughput on a wide
+//! bodyless DAG — pure claim/release/park overhead, no kernel work).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use xk_bench::graphgen::{
+    build_gemm_graph_legacy, build_wide_dag, gemm_graph_shell, submit_gemm_tasks,
+};
+use xk_runtime::run_parallel;
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_build");
+    group.sample_size(10);
+    for &nt in &[16usize, 32] {
+        let tasks = (nt * nt * nt) as u64;
+        group.throughput(Throughput::Elements(tasks));
+        // Tile registration is identical in both representations: it is
+        // setup for the CSR side and absent from the legacy replica.
+        group.bench_with_input(BenchmarkId::new("csr", tasks), &nt, |b, &nt| {
+            b.iter_batched(
+                || gemm_graph_shell(nt),
+                |(mut g, handles)| {
+                    submit_gemm_tasks(&mut g, &handles, nt);
+                    assert_eq!(g.len() as u64, tasks);
+                    g
+                },
+                BatchSize::LargeInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("legacy", tasks), &nt, |b, &nt| {
+            b.iter(|| {
+                let g = build_gemm_graph_legacy(nt);
+                assert_eq!(g.len() as u64, tasks);
+                g
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_par_release(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_release");
+    group.sample_size(10);
+    for &(layers, width) in &[(20usize, 200usize), (50, 500)] {
+        let tasks = (layers * width) as u64;
+        group.throughput(Throughput::Elements(tasks));
+        group.bench_with_input(
+            BenchmarkId::new("wide_dag", tasks),
+            &(layers, width),
+            |b, &(layers, width)| {
+                b.iter(|| {
+                    let mut g = build_wide_dag(layers, width);
+                    let out = run_parallel(&mut g, 0);
+                    assert_eq!(out.tasks_run as u64, tasks);
+                    out
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_build, bench_par_release);
+criterion_main!(benches);

@@ -10,7 +10,9 @@ use std::time::Instant;
 
 use rayon::prelude::*;
 use xk_baselines::{Library, XkVariant};
+use xk_bench::graphgen::{build_gemm_graph_legacy, build_wide_dag, gemm_graph_shell, submit_gemm_tasks};
 use xk_bench::{sweep_series, sweep_series_par, RunCache, SeriesPoint, PAPER_DIMS_SMALL};
+use xk_runtime::run_parallel;
 use xk_kernels::parallel::{par_fill_pattern, par_gemm, par_gemm_naive};
 use xk_kernels::{
     gemm, syrk, trsm, Diag, MatMut, MatRef, Routine, Side, Trans, Uplo,
@@ -181,6 +183,65 @@ fn bench_kernels() -> serde_json::Value {
     })
 }
 
+/// Build rate of a ~110k-task tiled-GEMM graph: the seed's HashMap +
+/// per-task-Vec + eager-label representation vs the CSR fast path.
+fn bench_graph_build() -> serde_json::Value {
+    const REPS: usize = 3;
+    // 48³ = 110,592 tasks — the paper's N=49152 / tile-1024 sweep point.
+    let nt = 48;
+    let tasks = nt * nt * nt;
+
+    let legacy_secs = best_secs(REPS, || {
+        let g = build_gemm_graph_legacy(nt);
+        assert_eq!(g.len(), tasks);
+    });
+    // Tile registration is identical in both representations and stays
+    // outside the timed region (the legacy replica doesn't model it).
+    let mut bytes_per_task = 0.0;
+    let mut csr_secs = f64::INFINITY;
+    for _ in 0..REPS {
+        let (mut g, handles) = gemm_graph_shell(nt);
+        let t0 = Instant::now();
+        submit_gemm_tasks(&mut g, &handles, nt);
+        csr_secs = csr_secs.min(t0.elapsed().as_secs_f64());
+        assert_eq!(g.len(), tasks);
+        bytes_per_task = g.memory_bytes() as f64 / tasks as f64;
+    }
+
+    serde_json::json!({
+        "tasks": tasks,
+        "reps": REPS,
+        "legacy_seconds": legacy_secs,
+        "legacy_tasks_per_sec": tasks as f64 / legacy_secs,
+        "csr_seconds": csr_secs,
+        "csr_tasks_per_sec": tasks as f64 / csr_secs,
+        "speedup": legacy_secs / csr_secs,
+        "bytes_per_task": bytes_per_task,
+    })
+}
+
+/// Raw task throughput of the parking work-stealing executor on a wide
+/// (100-layer × 1000-task) bodyless DAG: pure claim/release overhead.
+fn bench_par_exec() -> serde_json::Value {
+    const LAYERS: usize = 100;
+    const WIDTH: usize = 1000;
+    let tasks = LAYERS * WIDTH;
+    let mut g = build_wide_dag(LAYERS, WIDTH);
+    let t0 = Instant::now();
+    let out = run_parallel(&mut g, 0);
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(out.tasks_run, tasks);
+    serde_json::json!({
+        "tasks": tasks,
+        "layers": LAYERS,
+        "width": WIDTH,
+        "threads": out.threads,
+        "seconds": secs,
+        "tasks_per_sec": tasks as f64 / secs,
+        "parks": out.parks,
+    })
+}
+
 fn series_equal(a: &[Vec<SeriesPoint>], b: &[Vec<SeriesPoint>]) -> bool {
     a.len() == b.len()
         && a.iter().zip(b).all(|(sa, sb)| {
@@ -229,6 +290,12 @@ fn main() {
     eprintln!("host compute kernels (gemm/syrk/trsm GFLOP/s) ...");
     let kernels = bench_kernels();
 
+    eprintln!("graph build rate (legacy vs CSR, ~110k tasks) ...");
+    let graph = bench_graph_build();
+
+    eprintln!("parallel executor throughput (wide bodyless DAG) ...");
+    let par_exec = bench_par_exec();
+
     eprintln!("small sweep, warm cache ...");
     let t0 = Instant::now();
     let warm: Vec<Vec<SeriesPoint>> = SWEEP_LIBS
@@ -263,6 +330,8 @@ fn main() {
             "series_identical_to_serial": identical,
         },
         "kernels": kernels,
+        "graph": graph,
+        "par_exec": par_exec,
         "run_cache": {
             "entries": cache.len(),
             "hits": stats.hits,

@@ -11,6 +11,7 @@
 
 pub mod composition;
 pub mod figs;
+pub mod graphgen;
 pub mod report;
 pub mod runcache;
 pub mod sweep;

@@ -5,6 +5,12 @@
 //! algorithms follow the asynchronous tile algorithms of PLASMA/Chameleon,
 //! with the XKBlas differences of §III: sub-matrix (LAPACK) representation
 //! instead of tile copies, and no implicit copy-back instructions.
+//!
+//! Every `t_*` emitter below is on the submission fast path: accesses live
+//! in stack arrays (inlined into the task), labels are lazy
+//! [`TaskLabel`] patterns, and the numeric closure is only boxed when the
+//! context actually executes numerically — a simulation-only sweep
+//! submits each task without any per-task heap allocation.
 
 mod gemm;
 mod symm;
@@ -22,7 +28,7 @@ pub use trsm::trsm_async;
 
 use xk_kernels::perfmodel::TileOp;
 use xk_kernels::{Diag, Scalar, Side, Trans, Uplo};
-use xk_runtime::{Access, TaskAccess};
+use xk_runtime::{Access, TaskAccess, TaskLabel};
 
 use crate::ctx::Context;
 use crate::matrix::Matrix;
@@ -62,32 +68,33 @@ pub(crate) fn t_gemm<T: Scalar>(
     let ha = ctx.handle(a.0, a.1, a.2);
     let hb = ctx.handle(b.0, b.1, b.2);
     let hc = ctx.handle(c.0, c.1, c.2);
-    let mut accesses = vec![
+    let full = [
         TaskAccess { handle: ha, access: Access::Read },
         TaskAccess { handle: hb, access: Access::Read },
+        TaskAccess { handle: hc, access: Access::ReadWrite },
     ];
-    if hb == ha {
-        accesses.pop(); // same tile read twice (e.g. SYRK's A(i,l) pair)
-    }
-    accesses.push(TaskAccess { handle: hc, access: Access::ReadWrite });
+    // Same tile read twice (e.g. SYRK's A(i,l) pair): declare it once.
+    let dedup = [full[0], full[2]];
+    let accesses: &[TaskAccess] = if hb == ha { &dedup } else { &full };
 
-    let (ma, mb_, mc) = (a.0.clone(), b.0.clone(), c.0.clone());
-    let label = format!("gemm C({},{})", c.1, c.2);
     ctx.emit(
         TileOp::Gemm { m, n, k },
         accesses,
-        label,
-        Box::new(move || {
-            xk_kernels::gemm(
-                ta,
-                tb,
-                alpha,
-                ma.tile_view(ai0, aj0, am, an),
-                mb_.tile_view(bi0, bj0, bm, bn),
-                beta,
-                mc.tile_view_mut(ci0, cj0, m, n),
-            );
-        }),
+        TaskLabel::tile("gemm", 'C', c.1, c.2),
+        || {
+            let (ma, mb_, mc) = (a.0.clone(), b.0.clone(), c.0.clone());
+            Box::new(move || {
+                xk_kernels::gemm(
+                    ta,
+                    tb,
+                    alpha,
+                    ma.tile_view(ai0, aj0, am, an),
+                    mb_.tile_view(bi0, bj0, bm, bn),
+                    beta,
+                    mc.tile_view_mut(ci0, cj0, m, n),
+                );
+            })
+        },
     );
 }
 
@@ -111,28 +118,29 @@ pub(crate) fn t_symm<T: Scalar>(
     let ha = ctx.handle(a.0, a.1, a.2);
     let hb = ctx.handle(b.0, b.1, b.2);
     let hc = ctx.handle(c.0, c.1, c.2);
-    let accesses = vec![
+    let accesses = [
         TaskAccess { handle: ha, access: Access::Read },
         TaskAccess { handle: hb, access: Access::Read },
         TaskAccess { handle: hc, access: Access::ReadWrite },
     ];
-    let (ma, mb_, mc) = (a.0.clone(), b.0.clone(), c.0.clone());
-    let label = format!("symm C({},{})", c.1, c.2);
     ctx.emit(
         TileOp::Symm { m, n },
-        accesses,
-        label,
-        Box::new(move || {
-            xk_kernels::symm(
-                side,
-                uplo,
-                alpha,
-                ma.tile_view(ai0, aj0, am, an),
-                mb_.tile_view(bi0, bj0, bm, bn),
-                beta,
-                mc.tile_view_mut(ci0, cj0, m, n),
-            );
-        }),
+        &accesses,
+        TaskLabel::tile("symm", 'C', c.1, c.2),
+        || {
+            let (ma, mb_, mc) = (a.0.clone(), b.0.clone(), c.0.clone());
+            Box::new(move || {
+                xk_kernels::symm(
+                    side,
+                    uplo,
+                    alpha,
+                    ma.tile_view(ai0, aj0, am, an),
+                    mb_.tile_view(bi0, bj0, bm, bn),
+                    beta,
+                    mc.tile_view_mut(ci0, cj0, m, n),
+                );
+            })
+        },
     );
 }
 
@@ -155,26 +163,27 @@ pub(crate) fn t_syrk<T: Scalar>(
     };
     let ha = ctx.handle(a.0, a.1, a.2);
     let hc = ctx.handle(c.0, c.1, c.2);
-    let accesses = vec![
+    let accesses = [
         TaskAccess { handle: ha, access: Access::Read },
         TaskAccess { handle: hc, access: Access::ReadWrite },
     ];
-    let (ma, mc) = (a.0.clone(), c.0.clone());
-    let label = format!("syrk C({},{})", c.1, c.2);
     ctx.emit(
         TileOp::Syrk { n, k },
-        accesses,
-        label,
-        Box::new(move || {
-            xk_kernels::syrk(
-                uplo,
-                trans,
-                alpha,
-                ma.tile_view(ai0, aj0, am, an),
-                beta,
-                mc.tile_view_mut(ci0, cj0, m, n),
-            );
-        }),
+        &accesses,
+        TaskLabel::tile("syrk", 'C', c.1, c.2),
+        || {
+            let (ma, mc) = (a.0.clone(), c.0.clone());
+            Box::new(move || {
+                xk_kernels::syrk(
+                    uplo,
+                    trans,
+                    alpha,
+                    ma.tile_view(ai0, aj0, am, an),
+                    beta,
+                    mc.tile_view_mut(ci0, cj0, m, n),
+                );
+            })
+        },
     );
 }
 
@@ -202,28 +211,29 @@ pub(crate) fn t_syr2k<T: Scalar>(
     let ha = ctx.handle(a.0, a.1, a.2);
     let hb = ctx.handle(b.0, b.1, b.2);
     let hc = ctx.handle(c.0, c.1, c.2);
-    let accesses = vec![
+    let accesses = [
         TaskAccess { handle: ha, access: Access::Read },
         TaskAccess { handle: hb, access: Access::Read },
         TaskAccess { handle: hc, access: Access::ReadWrite },
     ];
-    let (ma, mb_, mc) = (a.0.clone(), b.0.clone(), c.0.clone());
-    let label = format!("syr2k C({},{})", c.1, c.2);
     ctx.emit(
         TileOp::Syr2k { n, k },
-        accesses,
-        label,
-        Box::new(move || {
-            xk_kernels::syr2k(
-                uplo,
-                trans,
-                alpha,
-                ma.tile_view(ai0, aj0, am, an),
-                mb_.tile_view(bi0, bj0, bm, bn),
-                beta,
-                mc.tile_view_mut(ci0, cj0, m, n),
-            );
-        }),
+        &accesses,
+        TaskLabel::tile("syr2k", 'C', c.1, c.2),
+        || {
+            let (ma, mb_, mc) = (a.0.clone(), b.0.clone(), c.0.clone());
+            Box::new(move || {
+                xk_kernels::syr2k(
+                    uplo,
+                    trans,
+                    alpha,
+                    ma.tile_view(ai0, aj0, am, an),
+                    mb_.tile_view(bi0, bj0, bm, bn),
+                    beta,
+                    mc.tile_view_mut(ci0, cj0, m, n),
+                );
+            })
+        },
     );
 }
 
@@ -244,27 +254,28 @@ pub(crate) fn t_trmm<T: Scalar>(
     assert_eq!(am, an, "trmm tile: diagonal block must be square");
     let ha = ctx.handle(a.0, a.1, a.2);
     let hb = ctx.handle(b.0, b.1, b.2);
-    let accesses = vec![
+    let accesses = [
         TaskAccess { handle: ha, access: Access::Read },
         TaskAccess { handle: hb, access: Access::ReadWrite },
     ];
-    let (ma, mb_) = (a.0.clone(), b.0.clone());
-    let label = format!("trmm B({},{})", b.1, b.2);
     ctx.emit(
         TileOp::Trmm { m, n },
-        accesses,
-        label,
-        Box::new(move || {
-            xk_kernels::trmm(
-                side,
-                uplo,
-                trans,
-                diag,
-                alpha,
-                ma.tile_view(ai0, aj0, am, an),
-                mb_.tile_view_mut(bi0, bj0, m, n),
-            );
-        }),
+        &accesses,
+        TaskLabel::tile("trmm", 'B', b.1, b.2),
+        || {
+            let (ma, mb_) = (a.0.clone(), b.0.clone());
+            Box::new(move || {
+                xk_kernels::trmm(
+                    side,
+                    uplo,
+                    trans,
+                    diag,
+                    alpha,
+                    ma.tile_view(ai0, aj0, am, an),
+                    mb_.tile_view_mut(bi0, bj0, m, n),
+                );
+            })
+        },
     );
 }
 
@@ -285,26 +296,27 @@ pub(crate) fn t_trsm<T: Scalar>(
     assert_eq!(am, an, "trsm tile: diagonal block must be square");
     let ha = ctx.handle(a.0, a.1, a.2);
     let hb = ctx.handle(b.0, b.1, b.2);
-    let accesses = vec![
+    let accesses = [
         TaskAccess { handle: ha, access: Access::Read },
         TaskAccess { handle: hb, access: Access::ReadWrite },
     ];
-    let (ma, mb_) = (a.0.clone(), b.0.clone());
-    let label = format!("trsm B({},{})", b.1, b.2);
     ctx.emit(
         TileOp::Trsm { m, n },
-        accesses,
-        label,
-        Box::new(move || {
-            xk_kernels::trsm(
-                side,
-                uplo,
-                trans,
-                diag,
-                alpha,
-                ma.tile_view(ai0, aj0, am, an),
-                mb_.tile_view_mut(bi0, bj0, m, n),
-            );
-        }),
+        &accesses,
+        TaskLabel::tile("trsm", 'B', b.1, b.2),
+        || {
+            let (ma, mb_) = (a.0.clone(), b.0.clone());
+            Box::new(move || {
+                xk_kernels::trsm(
+                    side,
+                    uplo,
+                    trans,
+                    diag,
+                    alpha,
+                    ma.tile_view(ai0, aj0, am, an),
+                    mb_.tile_view_mut(bi0, bj0, m, n),
+                );
+            })
+        },
     );
 }

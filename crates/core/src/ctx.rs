@@ -15,7 +15,7 @@ use xk_kernels::Scalar;
 use xk_runtime::task::TaskBody;
 use xk_runtime::{
     run_parallel, simulate, DataInfo, HandleId, ParOutcome, RuntimeConfig, SimOutcome, TaskAccess,
-    TaskGraph,
+    TaskGraph, TaskLabel,
 };
 use xk_topo::{Device, Topology};
 
@@ -184,18 +184,19 @@ impl<T: Scalar> Context<T> {
         h
     }
 
-    /// Emits one tile task.
+    /// Emits one tile task. The body is built lazily so simulation-only
+    /// contexts (the sweep harness's steady state) never box a closure.
     pub(crate) fn emit(
         &mut self,
         op: TileOp,
-        accesses: Vec<TaskAccess>,
-        label: String,
-        body: TaskBody,
+        accesses: &[TaskAccess],
+        label: TaskLabel,
+        make_body: impl FnOnce() -> TaskBody,
     ) {
         if self.sim_only {
             self.graph.add_task(op, accesses, label);
         } else {
-            self.graph.add_task_with_body(op, accesses, label, body);
+            self.graph.add_task_with_body(op, accesses, label, make_body());
         }
     }
 
@@ -227,7 +228,7 @@ impl<T: Scalar> Context<T> {
             for j in 0..map.nt {
                 if let Some(&h) = self.handles.get(&(mat.id(), i, j)) {
                     self.graph
-                        .add_flush(&[h], format!("coherent M{}({i},{j})", mat.id()));
+                        .add_flush(&[h], TaskLabel::mat_tile("coherent", mat.id(), i, j));
                 }
             }
         }

@@ -5,29 +5,100 @@
 //! its dependent-task model (paper §III): a reader depends on the last
 //! writer of each tile it reads, and a writer depends on the last writer
 //! *and* every reader of the current version (anti-dependency).
+//!
+//! # Representation (million-task scale)
+//!
+//! Everything on the submission path is flat and index-based so that the
+//! steady state performs **zero heap allocations per task** (only amortized
+//! `Vec` doubling):
+//!
+//! - per-handle history lives in a dense `Vec` indexed by `HandleId`
+//!   (handles are sequential small integers — no hashing);
+//! - `readers_since_write` lists are singly-linked nodes in one pooled
+//!   arena with a free list, recycled when a writer clears them;
+//! - dependency edges go into an incrementally-built *predecessor* CSR
+//!   (`pred_offsets`/`pred_targets`): a task's dependencies are final the
+//!   moment it is pushed, so appending is O(deps);
+//! - the *successor* CSR is derived lazily (counting sort over the
+//!   predecessor CSR) on first use and cached behind a [`OnceLock`];
+//!   any later mutation invalidates it. Successor lists come out in
+//!   ascending-target order — exactly the order the old per-task
+//!   `Vec<Vec<TaskId>>` produced, which the deterministic simulator
+//!   relies on;
+//! - the scratch buffer used to sort/dedup each task's dependencies is
+//!   reused across `push_task` calls.
 
-use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use xk_kernels::perfmodel::{GpuModel, TileOp};
 
 use crate::data::{DataInfo, DataRegistry, HandleId};
-use crate::task::{Access, Task, TaskAccess, TaskBody, TaskId, TaskKind};
+use crate::task::{Access, Task, TaskAccess, TaskAccesses, TaskBody, TaskId, TaskKind, TaskLabel};
 
-#[derive(Clone, Debug, Default)]
+/// Sentinel for "no task" / "no node" in the index-based structures.
+const NONE: u32 = u32::MAX;
+
+/// Per-handle dependency state, indexed by `HandleId.0`.
+#[derive(Clone, Copy, Debug)]
 struct HandleHistory {
-    last_writer: Option<TaskId>,
-    readers_since_write: Vec<TaskId>,
+    /// Last task that wrote the handle, or `NONE`.
+    last_writer: u32,
+    /// Head of the pooled readers-since-last-write list, or `NONE`.
+    readers_head: u32,
+}
+
+impl Default for HandleHistory {
+    fn default() -> Self {
+        HandleHistory {
+            last_writer: NONE,
+            readers_head: NONE,
+        }
+    }
+}
+
+/// One node of a pooled singly-linked reader list.
+#[derive(Clone, Copy, Debug)]
+struct ReaderNode {
+    task: u32,
+    next: u32,
+}
+
+/// Lazily-derived successor adjacency in CSR form.
+#[derive(Debug)]
+struct SuccCsr {
+    offsets: Vec<u32>,
+    targets: Vec<TaskId>,
 }
 
 /// A complete task graph: tasks, tiles and dependency edges.
-#[derive(Default)]
 pub struct TaskGraph {
     tasks: Vec<Task>,
     data: DataRegistry,
-    history: HashMap<HandleId, HandleHistory>,
-    successors: Vec<Vec<TaskId>>,
-    n_predecessors: Vec<usize>,
-    n_edges: usize,
+    history: Vec<HandleHistory>,
+    reader_nodes: Vec<ReaderNode>,
+    reader_free: u32,
+    scratch_deps: Vec<TaskId>,
+    /// `pred_offsets[i]..pred_offsets[i+1]` indexes task `i`'s
+    /// predecessors in `pred_targets`. Always `tasks.len() + 1` long.
+    pred_offsets: Vec<u32>,
+    pred_targets: Vec<u32>,
+    succ: OnceLock<SuccCsr>,
+}
+
+impl Default for TaskGraph {
+    fn default() -> Self {
+        TaskGraph {
+            tasks: Vec::new(),
+            data: DataRegistry::default(),
+            history: Vec::new(),
+            reader_nodes: Vec::new(),
+            reader_free: NONE,
+            scratch_deps: Vec::new(),
+            pred_offsets: vec![0],
+            pred_targets: Vec::new(),
+            succ: OnceLock::new(),
+        }
+    }
 }
 
 impl TaskGraph {
@@ -36,9 +107,25 @@ impl TaskGraph {
         TaskGraph::default()
     }
 
+    /// Reserves capacity for `tasks` more tasks and `edges` more
+    /// dependency edges. Tiled builders know both up front (`nt³` tasks,
+    /// ~3 edges each), and reserving once turns the amortized `Vec`
+    /// doubling on the submission path into a single allocation.
+    pub fn reserve(&mut self, tasks: usize, edges: usize) {
+        self.tasks.reserve(tasks);
+        self.pred_offsets.reserve(tasks);
+        self.pred_targets.reserve(edges);
+        // Read accesses park one pooled node each until the next writer
+        // recycles them; edge count is a good proxy for the peak.
+        self.reader_nodes.reserve(edges);
+    }
+
     /// Registers a tile.
     pub fn add_data(&mut self, info: DataInfo) -> HandleId {
-        self.data.add(info)
+        let h = self.data.add(info);
+        debug_assert_eq!(h.0, self.history.len());
+        self.history.push(HandleHistory::default());
+        h
     }
 
     /// Convenience: registers a host-resident tile.
@@ -50,24 +137,24 @@ impl TaskGraph {
     pub fn add_task(
         &mut self,
         op: TileOp,
-        accesses: Vec<TaskAccess>,
-        label: impl Into<String>,
+        accesses: impl Into<TaskAccesses>,
+        label: impl Into<TaskLabel>,
     ) -> TaskId {
-        self.push_task(TaskKind::Kernel, Some(op), accesses, label.into(), None, 0)
+        self.push_task(TaskKind::Kernel, Some(op), accesses.into(), label.into(), None, 0)
     }
 
     /// Adds a kernel task with a numeric body for the parallel executor.
     pub fn add_task_with_body(
         &mut self,
         op: TileOp,
-        accesses: Vec<TaskAccess>,
-        label: impl Into<String>,
+        accesses: impl Into<TaskAccesses>,
+        label: impl Into<TaskLabel>,
         body: TaskBody,
     ) -> TaskId {
         self.push_task(
             TaskKind::Kernel,
             Some(op),
-            accesses,
+            accesses.into(),
             label.into(),
             Some(body),
             0,
@@ -78,14 +165,14 @@ impl TaskGraph {
     pub fn add_task_prio(
         &mut self,
         op: TileOp,
-        accesses: Vec<TaskAccess>,
-        label: impl Into<String>,
+        accesses: impl Into<TaskAccesses>,
+        label: impl Into<TaskLabel>,
         priority: i32,
     ) -> TaskId {
         self.push_task(
             TaskKind::Kernel,
             Some(op),
-            accesses,
+            accesses.into(),
             label.into(),
             None,
             priority,
@@ -95,7 +182,7 @@ impl TaskGraph {
     /// Adds a host-coherency (flush) task reading `handles`: the model of
     /// `xkblas_memory_coherent_async`. It depends on the last writers of
     /// every handle and, in the simulator, triggers the DtoH transfers.
-    pub fn add_flush(&mut self, handles: &[HandleId], label: impl Into<String>) -> TaskId {
+    pub fn add_flush(&mut self, handles: &[HandleId], label: impl Into<TaskLabel>) -> TaskId {
         let accesses = handles
             .iter()
             .map(|&h| TaskAccess {
@@ -106,54 +193,115 @@ impl TaskGraph {
         self.push_task(TaskKind::Flush, None, accesses, label.into(), None, 0)
     }
 
+    #[inline]
     fn push_task(
         &mut self,
         kind: TaskKind,
         op: Option<TileOp>,
-        accesses: Vec<TaskAccess>,
-        label: String,
+        accesses: TaskAccesses,
+        label: TaskLabel,
         body: Option<TaskBody>,
         priority: i32,
     ) -> TaskId {
         let id = TaskId(self.tasks.len());
-        let mut deps: Vec<TaskId> = Vec::new();
-        for acc in &accesses {
-            debug_assert!(acc.handle.0 < self.data.len(), "unknown handle");
-            let hist = self.history.entry(acc.handle).or_default();
-            if acc.access.reads() {
-                if let Some(w) = hist.last_writer {
-                    deps.push(w);
-                }
-            }
-            if acc.access.writes() {
-                if let Some(w) = hist.last_writer {
-                    deps.push(w);
-                }
-                deps.extend(hist.readers_since_write.iter().copied());
-            }
-        }
-        deps.sort_unstable();
-        deps.dedup();
-        deps.retain(|&d| d != id);
+        assert!(id.0 < NONE as usize, "task count exceeds u32 index space");
+        let idx = id.0 as u32;
 
-        // Update histories after computing deps (a task reading and writing
-        // the same tile must not depend on itself).
-        for acc in &accesses {
-            let hist = self.history.entry(acc.handle).or_default();
+        // One pass per access: collect dependencies from the pre-task
+        // history and update it in place. A later entry for the same
+        // handle sees the earlier entry's update, which can only add
+        // `id` itself to the raw list (an RW pair, a write-then-read);
+        // the `retain` below removes it, so the edge set matches the
+        // two-pass formulation exactly.
+        self.scratch_deps.clear();
+        for acc in accesses.iter() {
+            // A real check, not a debug_assert: a dangling handle would
+            // silently corrupt the dense history table in release builds.
+            assert!(
+                acc.handle.0 < self.history.len(),
+                "unknown handle {:?} (registry has {} tiles)",
+                acc.handle,
+                self.history.len()
+            );
+            let h = acc.handle.0;
+            let hist = self.history[h];
+            if acc.access.reads() && hist.last_writer != NONE {
+                self.scratch_deps.push(TaskId(hist.last_writer as usize));
+            }
             if acc.access.writes() {
-                hist.last_writer = Some(id);
-                hist.readers_since_write.clear();
+                if hist.last_writer != NONE {
+                    self.scratch_deps.push(TaskId(hist.last_writer as usize));
+                }
+                // Walk the reader list once: every reader becomes a
+                // dependency, and the tail splices the whole list onto
+                // the free list.
+                let head = hist.readers_head;
+                if head != NONE {
+                    let mut node = head;
+                    loop {
+                        let rn = self.reader_nodes[node as usize];
+                        self.scratch_deps.push(TaskId(rn.task as usize));
+                        if rn.next == NONE {
+                            break;
+                        }
+                        node = rn.next;
+                    }
+                    self.reader_nodes[node as usize].next = self.reader_free;
+                    self.reader_free = head;
+                }
+                self.history[h] = HandleHistory {
+                    last_writer: idx,
+                    readers_head: NONE,
+                };
             } else if acc.access.reads() {
-                hist.readers_since_write.push(id);
+                let slot = if self.reader_free != NONE {
+                    let s = self.reader_free;
+                    self.reader_free = self.reader_nodes[s as usize].next;
+                    s
+                } else {
+                    self.reader_nodes.push(ReaderNode { task: 0, next: NONE });
+                    (self.reader_nodes.len() - 1) as u32
+                };
+                self.reader_nodes[slot as usize] = ReaderNode {
+                    task: idx,
+                    next: hist.readers_head,
+                };
+                self.history[h].readers_head = slot;
+            }
+        }
+        let deps = &mut self.scratch_deps;
+        // Tiled kernels produce tiny dependency lists (a GEMM update has
+        // at most two raw entries); skip the sorter's dispatch for those.
+        match deps.len() {
+            0 => {}
+            1 => {
+                if deps[0] == id {
+                    deps.clear();
+                }
+            }
+            2 => {
+                if deps[0] == deps[1] {
+                    deps.pop();
+                } else if deps[0] > deps[1] {
+                    deps.swap(0, 1);
+                }
+                deps.retain(|&d| d != id);
+            }
+            _ => {
+                deps.sort_unstable();
+                deps.dedup();
+                deps.retain(|&d| d != id);
             }
         }
 
-        self.successors.push(Vec::new());
-        self.n_predecessors.push(deps.len());
-        for d in &deps {
-            self.successors[d.0].push(id);
-            self.n_edges += 1;
-        }
+        assert!(
+            self.pred_targets.len() + deps.len() < NONE as usize,
+            "edge count exceeds u32 index space"
+        );
+        self.pred_targets
+            .extend(self.scratch_deps.iter().map(|d| d.0 as u32));
+        self.pred_offsets.push(self.pred_targets.len() as u32);
+        self.succ.take(); // invalidate the cached successor CSR
         self.tasks.push(Task {
             id,
             kind,
@@ -178,7 +326,7 @@ impl TaskGraph {
 
     /// Number of dependency edges.
     pub fn n_edges(&self) -> usize {
-        self.n_edges
+        self.pred_targets.len()
     }
 
     /// Task by id.
@@ -201,22 +349,73 @@ impl TaskGraph {
         &self.data
     }
 
-    /// Successors of a task.
-    pub fn successors(&self, id: TaskId) -> &[TaskId] {
-        &self.successors[id.0]
+    /// Predecessors (dependencies) of a task, in ascending id order.
+    pub fn predecessors(&self, id: TaskId) -> impl ExactSizeIterator<Item = TaskId> + '_ {
+        let a = self.pred_offsets[id.0] as usize;
+        let b = self.pred_offsets[id.0 + 1] as usize;
+        self.pred_targets[a..b].iter().map(|&p| TaskId(p as usize))
     }
 
-    /// Number of predecessors of each task (indexed by `TaskId.0`).
-    pub fn predecessor_counts(&self) -> &[usize] {
-        &self.n_predecessors
+    /// Number of predecessors of a task.
+    pub fn pred_count(&self, id: TaskId) -> usize {
+        (self.pred_offsets[id.0 + 1] - self.pred_offsets[id.0]) as usize
+    }
+
+    /// Predecessor counts of all tasks, in id order.
+    pub fn pred_counts(&self) -> impl Iterator<Item = usize> + '_ {
+        self.pred_offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+    }
+
+    /// Successors of a task, in ascending id order. Derived from the
+    /// predecessor CSR on first call after a mutation (O(V+E) counting
+    /// sort); interleaving queries with `add_task` rebuilds each time —
+    /// call [`TaskGraph::finalize`] once after construction instead.
+    pub fn successors(&self, id: TaskId) -> &[TaskId] {
+        let csr = self.succ_csr();
+        let a = csr.offsets[id.0] as usize;
+        let b = csr.offsets[id.0 + 1] as usize;
+        &csr.targets[a..b]
+    }
+
+    /// Forces the successor CSR to be built now (it is otherwise derived
+    /// lazily on the first `successors` call).
+    pub fn finalize(&self) {
+        let _ = self.succ_csr();
+    }
+
+    fn succ_csr(&self) -> &SuccCsr {
+        self.succ.get_or_init(|| {
+            let n = self.tasks.len();
+            let mut offsets = vec![0u32; n + 1];
+            for &p in &self.pred_targets {
+                offsets[p as usize + 1] += 1;
+            }
+            for i in 0..n {
+                offsets[i + 1] += offsets[i];
+            }
+            let mut cursor: Vec<u32> = offsets[..n].to_vec();
+            let mut targets = vec![TaskId(0); self.pred_targets.len()];
+            // Iterating destinations in id order writes each source's
+            // successor list in ascending-destination order.
+            for dst in 0..n {
+                let a = self.pred_offsets[dst] as usize;
+                let b = self.pred_offsets[dst + 1] as usize;
+                for &src in &self.pred_targets[a..b] {
+                    targets[cursor[src as usize] as usize] = TaskId(dst);
+                    cursor[src as usize] += 1;
+                }
+            }
+            SuccCsr { offsets, targets }
+        })
     }
 
     /// Tasks with no predecessors.
     pub fn roots(&self) -> Vec<TaskId> {
-        self.n_predecessors
-            .iter()
+        self.pred_counts()
             .enumerate()
-            .filter(|(_, &n)| n == 0)
+            .filter(|(_, n)| *n == 0)
             .map(|(i, _)| TaskId(i))
             .collect()
     }
@@ -227,20 +426,17 @@ impl TaskGraph {
     pub fn critical_path_seconds(&self, model: &GpuModel) -> f64 {
         let mut finish = vec![0.0f64; self.tasks.len()];
         // Tasks are in topological order by construction (dependencies only
-        // point to earlier tasks).
+        // point to earlier tasks), so one forward pass over predecessors
+        // suffices — and needs no successor CSR.
         let mut best = 0.0f64;
         for t in &self.tasks {
             let dur = t.op.map_or(0.0, |op| model.kernel_time(op));
-            // finish[t] = dur + max over predecessors; we don't store
-            // predecessor lists, so push forward over successors instead.
-            let f = finish[t.id.0] + dur;
+            let start = self
+                .predecessors(t.id)
+                .fold(0.0f64, |m, p| m.max(finish[p.0]));
+            let f = start + dur;
             finish[t.id.0] = f;
             best = best.max(f);
-            for s in &self.successors[t.id.0] {
-                if finish[s.0] < f {
-                    finish[s.0] = f;
-                }
-            }
         }
         best
     }
@@ -254,15 +450,40 @@ impl TaskGraph {
             .sum()
     }
 
+    /// Approximate retained bytes of the graph structure (task table,
+    /// CSR arrays, histories, reader pool, successor cache). Excludes
+    /// heap-spilled access lists / text labels, which the tiled builders
+    /// never produce.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = self.tasks.capacity() * size_of::<Task>()
+            + self.pred_offsets.capacity() * size_of::<u32>()
+            + self.pred_targets.capacity() * size_of::<u32>()
+            + self.history.capacity() * size_of::<HandleHistory>()
+            + self.reader_nodes.capacity() * size_of::<ReaderNode>()
+            + self.data.len() * size_of::<DataInfo>();
+        if let Some(csr) = self.succ.get() {
+            bytes += csr.offsets.capacity() * size_of::<u32>()
+                + csr.targets.capacity() * size_of::<TaskId>();
+        }
+        bytes
+    }
+
     /// Graphviz DOT rendering (small graphs; debugging aid).
     pub fn to_dot(&self) -> String {
         use std::fmt::Write as _;
+        fn escape(label: &str) -> String {
+            label.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut buf = String::new();
         let mut s = String::from("digraph tasks {\n  rankdir=LR;\n");
         for t in &self.tasks {
-            let _ = writeln!(s, "  t{} [label=\"{}\"];", t.id.0, t.label);
+            buf.clear();
+            t.label.render_into(&mut buf);
+            let _ = writeln!(s, "  t{} [label=\"{}\"];", t.id.0, escape(&buf));
         }
         for t in &self.tasks {
-            for succ in &self.successors[t.id.0] {
+            for succ in self.successors(t.id) {
                 let _ = writeln!(s, "  t{} -> t{};", t.id.0, succ.0);
             }
         }
@@ -305,7 +526,8 @@ mod tests {
         let w = g.add_task(op(), vec![write(h)], "w");
         let r = g.add_task(op(), vec![read(h)], "r");
         assert_eq!(g.successors(w), &[r]);
-        assert_eq!(g.predecessor_counts()[r.0], 1);
+        assert_eq!(g.pred_count(r), 1);
+        assert_eq!(g.predecessors(r).collect::<Vec<_>>(), vec![w]);
         assert_eq!(g.roots(), vec![w]);
     }
 
@@ -318,7 +540,8 @@ mod tests {
         let r2 = g.add_task(op(), vec![read(h)], "r2");
         let w2 = g.add_task(op(), vec![write(h)], "w2");
         // w2 depends on w1 (output dep) and r1, r2 (anti-deps).
-        assert_eq!(g.predecessor_counts()[w2.0], 3);
+        assert_eq!(g.pred_count(w2), 3);
+        assert_eq!(g.predecessors(w2).collect::<Vec<_>>(), vec![w1, r1, r2]);
         assert!(g.successors(r1).contains(&w2));
         assert!(g.successors(r2).contains(&w2));
         assert!(g.successors(w1).contains(&w2));
@@ -345,8 +568,8 @@ mod tests {
         let t2 = g.add_task(op(), vec![rw(c)], "k2");
         assert_eq!(g.successors(t0), &[t1]);
         assert_eq!(g.successors(t1), &[t2]);
-        assert_eq!(g.predecessor_counts()[t1.0], 1);
-        assert_eq!(g.predecessor_counts()[t2.0], 1);
+        assert_eq!(g.pred_count(t1), 1);
+        assert_eq!(g.pred_count(t2), 1);
     }
 
     #[test]
@@ -357,7 +580,7 @@ mod tests {
         let w = g.add_task(op(), vec![write(a), write(b)], "w");
         let r = g.add_task(op(), vec![read(a), read(b)], "r");
         // Both deps point at w but must count once.
-        assert_eq!(g.predecessor_counts()[r.0], 1);
+        assert_eq!(g.pred_count(r), 1);
         assert_eq!(g.successors(w), &[r]);
     }
 
@@ -369,7 +592,7 @@ mod tests {
         let w1 = g.add_task(op(), vec![write(a)], "w1");
         let w2 = g.add_task(op(), vec![write(b)], "w2");
         let f = g.add_flush(&[a, b], "flush");
-        assert_eq!(g.predecessor_counts()[f.0], 2);
+        assert_eq!(g.pred_count(f), 2);
         assert!(g.successors(w1).contains(&f));
         assert!(g.successors(w2).contains(&f));
         assert_eq!(g.task(f).kind, TaskKind::Flush);
@@ -400,5 +623,46 @@ mod tests {
         let r = g.add_task(op(), vec![read(h)], "r");
         let dot = g.to_dot();
         assert!(dot.contains(&format!("t{} -> t{}", w.0, r.0)));
+    }
+
+    #[test]
+    fn dot_escapes_quotes_and_backslashes() {
+        let mut g = TaskGraph::new();
+        let h = g.add_host_tile(64, false, "x");
+        g.add_task(op(), vec![write(h)], r#"say "hi" \ bye"#);
+        let dot = g.to_dot();
+        assert!(dot.contains(r#"[label="say \"hi\" \\ bye"]"#), "{dot}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown handle")]
+    fn unknown_handle_panics_in_release_too() {
+        let mut g = TaskGraph::new();
+        g.add_task(op(), vec![write(HandleId(3))], "bad");
+    }
+
+    #[test]
+    fn successor_cache_invalidated_by_later_pushes() {
+        let mut g = TaskGraph::new();
+        let h = g.add_host_tile(64, false, "x");
+        let w = g.add_task(op(), vec![write(h)], "w");
+        assert!(g.successors(w).is_empty());
+        let r = g.add_task(op(), vec![read(h)], "r");
+        assert_eq!(g.successors(w), &[r]);
+    }
+
+    #[test]
+    fn reader_pool_recycles_nodes() {
+        let mut g = TaskGraph::new();
+        let h = g.add_host_tile(64, false, "x");
+        // Many write/read/read rounds: the pool should stay at the high
+        //-water mark of live readers (2), not grow per round.
+        for _ in 0..50 {
+            g.add_task(op(), vec![write(h)], "w");
+            g.add_task(op(), vec![read(h)], "r1");
+            g.add_task(op(), vec![read(h)], "r2");
+        }
+        assert!(g.reader_nodes.len() <= 2, "pool grew: {}", g.reader_nodes.len());
+        assert!(g.memory_bytes() > 0);
     }
 }

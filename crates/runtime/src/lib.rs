@@ -51,4 +51,4 @@ pub use data::{DataInfo, DataRegistry, HandleId};
 pub use graph::TaskGraph;
 pub use par_exec::{run_parallel, ParOutcome};
 pub use sim_exec::{measure_bandwidth_matrix, simulate, SimExecutor, SimOutcome};
-pub use task::{Access, Task, TaskAccess, TaskId, TaskKind};
+pub use task::{Access, Task, TaskAccess, TaskAccesses, TaskId, TaskKind, TaskLabel};

@@ -132,6 +132,8 @@ pub struct SimExecutor<'a> {
 impl<'a> SimExecutor<'a> {
     /// Prepares an executor for one run.
     pub fn new(graph: &'a TaskGraph, topo: &'a Topology, cfg: &'a RuntimeConfig) -> Self {
+        // Build the successor CSR once, before the event loop needs it.
+        graph.finalize();
         let n = topo.n_gpus();
         let mut pool = EnginePool::new();
         let gpus = (0..n)
@@ -167,12 +169,19 @@ impl<'a> SimExecutor<'a> {
             }
         }
         // Intern every label up front: the event loop then records spans
-        // with a copyable u32 instead of cloning a String per span.
+        // with a copyable u32 instead of cloning a String per span. Labels
+        // are stored as lazy patterns; render each into one reused buffer
+        // (same text, same interning order as the eager-String era).
         let mut trace = Trace::new();
+        let mut label_buf = String::new();
         let task_labels: Vec<Label> = graph
             .tasks()
             .iter()
-            .map(|t| trace.intern(&t.label))
+            .map(|t| {
+                label_buf.clear();
+                t.label.render_into(&mut label_buf);
+                trace.intern(&label_buf)
+            })
             .collect();
         let data_labels: Vec<Label> = (0..graph.data().len())
             .map(|i| trace.intern(&graph.data().info(HandleId(i)).label))
@@ -190,7 +199,7 @@ impl<'a> SimExecutor<'a> {
             // Each task typically produces a TaskDone plus a handful of
             // TryLaunch events; pre-reserving avoids heap regrowth mid-run.
             clock: Clock::with_capacity(graph.len().saturating_mul(4).max(64)),
-            pending: graph.predecessor_counts().to_vec(),
+            pending: graph.pred_counts().collect(),
             assigned_to: vec![None; graph.len()],
             prefetched: vec![None; graph.len()],
             final_writer,

@@ -1,0 +1,186 @@
+//! The CSR-based `TaskGraph` must infer exactly the edges the seed's
+//! straightforward representation did: per-handle histories in a HashMap,
+//! `readers_since_write` as owned Vecs, successors as `Vec<Vec<TaskId>>`.
+//! This oracle replays that algorithm over random access sequences
+//! (Read/Write/ReadWrite mixes, duplicate handles, flushes) and compares
+//! edge-for-edge.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use xk_kernels::perfmodel::TileOp;
+use xk_runtime::{Access, TaskAccess, TaskGraph, TaskId};
+
+fn op() -> TileOp {
+    TileOp::Gemm { m: 8, n: 8, k: 8 }
+}
+
+/// One submitted operation of the random program.
+#[derive(Clone, Debug)]
+enum Op {
+    /// A kernel task: `(handle index, access mode)` pairs, duplicates allowed.
+    Task(Vec<(usize, Access)>),
+    /// A flush over a set of handle indices.
+    Flush(Vec<usize>),
+}
+
+/// The seed's graph algorithm, verbatim: the reference the CSR graph must
+/// reproduce.
+#[derive(Default)]
+struct Oracle {
+    last_writer: HashMap<usize, usize>,
+    readers_since_write: HashMap<usize, Vec<usize>>,
+    successors: Vec<Vec<usize>>,
+    n_predecessors: Vec<usize>,
+    predecessors: Vec<Vec<usize>>,
+    n_edges: usize,
+}
+
+impl Oracle {
+    fn push(&mut self, accesses: &[(usize, Access)]) {
+        let id = self.successors.len();
+        let mut deps: Vec<usize> = Vec::new();
+        for &(h, acc) in accesses {
+            if acc.reads() {
+                if let Some(&w) = self.last_writer.get(&h) {
+                    deps.push(w);
+                }
+            }
+            if acc.writes() {
+                if let Some(&w) = self.last_writer.get(&h) {
+                    deps.push(w);
+                }
+                deps.extend(
+                    self.readers_since_write
+                        .get(&h)
+                        .into_iter()
+                        .flatten()
+                        .copied(),
+                );
+            }
+        }
+        deps.sort_unstable();
+        deps.dedup();
+        deps.retain(|&d| d != id);
+        for &(h, acc) in accesses {
+            if acc.writes() {
+                self.last_writer.insert(h, id);
+                self.readers_since_write.entry(h).or_default().clear();
+            } else if acc.reads() {
+                self.readers_since_write.entry(h).or_default().push(id);
+            }
+        }
+        self.successors.push(Vec::new());
+        self.n_predecessors.push(deps.len());
+        for &d in &deps {
+            self.successors[d].push(id);
+            self.n_edges += 1;
+        }
+        self.predecessors.push(deps);
+    }
+}
+
+fn access_strategy() -> impl Strategy<Value = Access> {
+    prop_oneof![
+        Just(Access::Read),
+        Just(Access::Write),
+        Just(Access::ReadWrite),
+    ]
+}
+
+fn ops_strategy(n_handles: usize) -> impl Strategy<Value = Vec<Op>> {
+    let task = prop::collection::vec((0..n_handles, access_strategy()), 1..5).prop_map(Op::Task);
+    let flush = prop::collection::vec(0..n_handles, 1..4).prop_map(Op::Flush);
+    prop::collection::vec(prop_oneof![4 => task, 1 => flush], 1..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn csr_matches_per_task_vec_oracle(ops in ops_strategy(16)) {
+        let mut g = TaskGraph::new();
+        let handles: Vec<_> = (0..16)
+            .map(|i| g.add_host_tile(64, false, format!("h{i}")))
+            .collect();
+        let mut oracle = Oracle::default();
+
+        for op_desc in &ops {
+            match op_desc {
+                Op::Task(accs) => {
+                    let accesses: Vec<TaskAccess> = accs
+                        .iter()
+                        .map(|&(h, access)| TaskAccess { handle: handles[h], access })
+                        .collect();
+                    g.add_task(op(), accesses, "t");
+                    oracle.push(accs);
+                }
+                Op::Flush(hs) => {
+                    let unique: Vec<_> = hs.iter().map(|&h| handles[h]).collect();
+                    g.add_flush(&unique, "f");
+                    let accs: Vec<(usize, Access)> =
+                        hs.iter().map(|&h| (h, Access::Read)).collect();
+                    oracle.push(&accs);
+                }
+            }
+        }
+
+        prop_assert_eq!(g.len(), oracle.successors.len());
+        prop_assert_eq!(g.n_edges(), oracle.n_edges);
+        let pred_counts: Vec<usize> = g.pred_counts().collect();
+        prop_assert_eq!(&pred_counts, &oracle.n_predecessors);
+        for t in 0..g.len() {
+            let id = TaskId(t);
+            let preds: Vec<usize> = g.predecessors(id).map(|p| p.0).collect();
+            prop_assert_eq!(&preds, &oracle.predecessors[t], "predecessors of task {}", t);
+            let succs: Vec<usize> = g.successors(id).iter().map(|s| s.0).collect();
+            prop_assert_eq!(&succs, &oracle.successors[t], "successors of task {}", t);
+        }
+        let roots: Vec<usize> = g.roots().iter().map(|r| r.0).collect();
+        let oracle_roots: Vec<usize> = oracle
+            .n_predecessors
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n == 0)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(roots, oracle_roots);
+    }
+
+    #[test]
+    fn interleaved_queries_stay_consistent(ops in ops_strategy(8)) {
+        // Query successors *between* pushes: the lazy successor cache must
+        // invalidate and rebuild correctly.
+        let mut g = TaskGraph::new();
+        let handles: Vec<_> = (0..8)
+            .map(|i| g.add_host_tile(64, false, format!("h{i}")))
+            .collect();
+        let mut oracle = Oracle::default();
+        for (step, op_desc) in ops.iter().enumerate() {
+            if let Op::Task(accs) = op_desc {
+                let accesses: Vec<TaskAccess> = accs
+                    .iter()
+                    .map(|&(h, access)| TaskAccess { handle: handles[h], access })
+                    .collect();
+                g.add_task(op(), accesses, "t");
+                oracle.push(accs);
+            } else if let Op::Flush(hs) = op_desc {
+                let unique: Vec<_> = hs.iter().map(|&h| handles[h]).collect();
+                g.add_flush(&unique, "f");
+                let accs: Vec<(usize, Access)> =
+                    hs.iter().map(|&h| (h, Access::Read)).collect();
+                oracle.push(&accs);
+            }
+            if step % 3 == 0 {
+                // Force a (to-be-invalidated) successor CSR build mid-stream.
+                let t = TaskId(step % g.len().max(1));
+                let succs: Vec<usize> = g.successors(t).iter().map(|s| s.0).collect();
+                prop_assert_eq!(&succs, &oracle.successors[t.0]);
+            }
+        }
+        for t in 0..g.len() {
+            let succs: Vec<usize> = g.successors(TaskId(t)).iter().map(|s| s.0).collect();
+            prop_assert_eq!(&succs, &oracle.successors[t]);
+        }
+    }
+}
