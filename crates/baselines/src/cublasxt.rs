@@ -224,6 +224,7 @@ pub fn run_cublasxt(topo: &Topology, params: &RunParams) -> RunResult {
         trace: fabric.trace,
         tasks_run: 0,
         steals: 0,
+        obs: None,
     };
     outcome_to_result(sim, params)
 }

@@ -5,7 +5,7 @@
 
 use xk_sim::{Duration, EngineId, EnginePool, Reservation, SimTime};
 use xk_topo::{BusSegment, Device, Topology};
-use xk_trace::{Place, Span, SpanKind, Trace};
+use xk_trace::{FlowId, Place, Span, SpanKind, Trace};
 
 /// The engine fabric of a custom baseline simulation.
 pub struct Fabric {
@@ -111,6 +111,7 @@ impl Fabric {
             end: res.end.seconds(),
             bytes,
             label,
+            flow: FlowId::NONE,
         });
         res
     }
@@ -135,6 +136,7 @@ impl Fabric {
             end: res.end.seconds(),
             bytes: 0,
             label,
+            flow: FlowId::NONE,
         });
         res
     }

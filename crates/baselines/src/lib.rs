@@ -22,9 +22,14 @@ pub use slate::run_slate;
 pub use xkblas_like::{build_routine_graph, run_on_runtime};
 
 use xk_kernels::Routine;
-use xk_runtime::{Heuristics, RuntimeConfig, SchedulerKind};
+use xk_runtime::{Heuristics, ObsReport, RuntimeConfig, SchedulerKind};
 use xk_topo::Topology;
 use xk_trace::Trace;
+
+/// The workspace-wide run error (see [`xk_runtime::Error`]); the former
+/// crate-local `RunError` enum is now an alias so existing call sites keep
+/// compiling while the whole harness folds errors the same way.
+pub use xk_runtime::Error as RunError;
 
 /// The libraries of the paper's Fig. 5, plus the XKBlas ablations of Fig. 3.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -135,28 +140,11 @@ pub struct RunResult {
     pub bytes_d2h: u64,
     /// Device→device bytes.
     pub bytes_p2p: u64,
+    /// Observability report of the simulated run (link occupancy,
+    /// contention, critical path). `None` for the models that bypass the
+    /// shared runtime (cuBLAS-XT, SLATE) or runs at [`xk_runtime::ObsLevel::Off`].
+    pub obs: Option<ObsReport>,
 }
-
-/// Errors a run can report.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum RunError {
-    /// The library does not implement this routine on GPUs.
-    Unsupported,
-    /// The library's allocator fails at this size (BLASX above N = 45000,
-    /// §IV-D / Fig. 5 caption).
-    OutOfMemory,
-}
-
-impl std::fmt::Display for RunError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            RunError::Unsupported => write!(f, "routine not implemented by this library"),
-            RunError::OutOfMemory => write!(f, "memory allocation error"),
-        }
-    }
-}
-
-impl std::error::Error for RunError {}
 
 /// Runs `lib` on `topo` with `params`.
 pub fn run(lib: Library, topo: &Topology, params: &RunParams) -> Result<RunResult, RunError> {
@@ -224,6 +212,7 @@ pub fn run(lib: Library, topo: &Topology, params: &RunParams) -> Result<RunResul
                         end: t_in,
                         bytes: 3 * (params.n * params.n) as u64 / topo.n_gpus() as u64,
                         label: l_distribute,
+                        flow: xk_trace::FlowId::NONE,
                     });
                     r.trace.push(xk_trace::Span {
                         place: xk_trace::Place::Gpu(g),
@@ -233,6 +222,7 @@ pub fn run(lib: Library, topo: &Topology, params: &RunParams) -> Result<RunResul
                         end: t_in + compute_end + t_out,
                         bytes: (params.n * params.n) as u64 / topo.n_gpus() as u64,
                         label: l_gather,
+                        flow: xk_trace::FlowId::NONE,
                     });
                 }
                 r.seconds += t_in + t_out;

@@ -107,6 +107,7 @@ pub fn run_slate(topo: &Topology, params: &RunParams) -> RunResult {
         trace: fabric.trace,
         tasks_run: 0,
         steals: 0,
+        obs: None,
     };
     outcome_to_result(sim, params)
 }

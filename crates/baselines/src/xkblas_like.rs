@@ -3,7 +3,7 @@
 //! task graph through `xkblas-core` and simulate it under a per-library
 //! [`RuntimeConfig`].
 
-use xk_runtime::{RuntimeConfig, SimOutcome};
+use xk_runtime::{ObsLevel, RuntimeConfig, SimOutcome};
 use xk_topo::Topology;
 use xkblas_core::{
     gemm_async, symm_async, syr2k_async, syrk_async, trmm_async, trsm_async, Context, Diag,
@@ -64,6 +64,7 @@ pub fn run_on_runtime(
     let mut ctx = Context::<f64>::new(topo.clone(), cfg, params.tile);
     ctx.set_simulation_only(true);
     ctx.set_tile_layout(tile_layout);
+    ctx.set_observability(ObsLevel::Full);
     let out = build_routine_graph(&mut ctx, params.routine, params.n, params.data_on_device);
     if !params.data_on_device && !ctx.config().eager_flush {
         ctx.memory_coherent_async(&out);
@@ -82,6 +83,7 @@ pub fn outcome_to_result(sim: SimOutcome, params: &RunParams) -> RunResult {
         bytes_h2d: sim.bytes_h2d,
         bytes_d2h: sim.bytes_d2h,
         bytes_p2p: sim.bytes_p2p,
+        obs: sim.obs,
     }
 }
 

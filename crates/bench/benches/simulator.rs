@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use xk_sim::{Clock, Duration, EnginePool, EventQueue, SimTime};
-use xk_trace::{Place, Span, SpanKind, Trace};
+use xk_trace::{FlowId, Place, Span, SpanKind, Trace};
 
 fn bench_event_queue(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_queue");
@@ -79,6 +79,7 @@ fn bench_span_recording(c: &mut Criterion) {
                     end: i as f64 * 1e-6 + 1e-6,
                     bytes: 0,
                     label: ids[(i % 64) as usize],
+                    flow: FlowId::NONE,
                 });
             }
             trace
@@ -99,6 +100,7 @@ fn bench_span_recording(c: &mut Criterion) {
                     end: i as f64 * 1e-6 + 1e-6,
                     bytes: 0,
                     label,
+                    flow: FlowId::NONE,
                 });
             }
             trace

@@ -18,6 +18,7 @@ use xk_kernels::{
     gemm, syrk, trsm, Diag, MatMut, MatRef, Routine, Side, Trans, Uplo,
 };
 use xk_sim::{EventQueue, SimTime};
+use xk_trace::SpanKind;
 
 const QUEUE_EVENTS: usize = 1_000_000;
 
@@ -242,6 +243,60 @@ fn bench_par_exec() -> serde_json::Value {
     })
 }
 
+/// Observability digest per routine: top-3 hot links and critical-path
+/// composition of the XKBlas run (the critical-path invariant is asserted
+/// on every entry).
+fn bench_obs(topo: &xk_topo::Topology) -> serde_json::Value {
+    let per_routine: Vec<serde_json::Value> = Routine::ALL
+        .into_iter()
+        .map(|routine| {
+            let params = xk_baselines::RunParams {
+                routine,
+                n: 8192,
+                tile: 2048,
+                data_on_device: false,
+            };
+            let r = xk_baselines::run(Library::XkBlas(XkVariant::Full), topo, &params)
+                .expect("xkblas runs every routine");
+            let obs = r.obs.expect("xkblas records observability");
+            let cp = obs.critical_path.as_ref().expect("full level records the critical path");
+            assert_eq!(
+                cp.length.to_bits(),
+                obs.makespan.to_bits(),
+                "{routine:?}: critical path != makespan"
+            );
+            serde_json::json!({
+                "routine": routine.name(),
+                "n": params.n,
+                "tile": params.tile,
+                "makespan_s": obs.makespan,
+                "hot_links": obs
+                    .hot_links(3)
+                    .iter()
+                    .map(|l| serde_json::json!({
+                        "name": l.name,
+                        "busy_s": l.busy,
+                        "utilization": l.utilization,
+                        "contention_wait_s": l.wait,
+                        "bytes": l.bytes,
+                        "cp_seconds": l.cp_seconds,
+                    }))
+                    .collect::<Vec<_>>(),
+                "critical_path": {
+                    "length_s": cp.length,
+                    "kernel_s": cp.kind_seconds(SpanKind::Kernel),
+                    "h2d_s": cp.kind_seconds(SpanKind::H2D),
+                    "d2h_s": cp.kind_seconds(SpanKind::D2H),
+                    "p2p_s": cp.kind_seconds(SpanKind::P2P),
+                    "runtime_gap_s": cp.runtime_gap,
+                    "spans": cp.total_segments,
+                },
+            })
+        })
+        .collect();
+    serde_json::json!(per_routine)
+}
+
 fn series_equal(a: &[Vec<SeriesPoint>], b: &[Vec<SeriesPoint>]) -> bool {
     a.len() == b.len()
         && a.iter().zip(b).all(|(sa, sb)| {
@@ -296,6 +351,9 @@ fn main() {
     eprintln!("parallel executor throughput (wide bodyless DAG) ...");
     let par_exec = bench_par_exec();
 
+    eprintln!("observability digest (per-routine hot links + critical path) ...");
+    let obs = bench_obs(&topo);
+
     eprintln!("small sweep, warm cache ...");
     let t0 = Instant::now();
     let warm: Vec<Vec<SeriesPoint>> = SWEEP_LIBS
@@ -332,6 +390,7 @@ fn main() {
         "kernels": kernels,
         "graph": graph,
         "par_exec": par_exec,
+        "obs": obs,
         "run_cache": {
             "entries": cache.len(),
             "hits": stats.hits,

@@ -12,5 +12,9 @@ fn main() {
     let t = figs::fig6_trace_gemm(&topo, n);
     println!("Fig. 6 — GEMM N={n} cumulative execution time / normalized ratio\n");
     println!("{}", t.render());
+    println!("Observability (critical path verified against the makespan):");
+    for (lib, summary) in figs::fig6_obs(&topo, n) {
+        println!("{}:\n{summary}", lib.name());
+    }
     let _ = write_csv("fig6_trace_gemm.csv", &t.to_csv());
 }

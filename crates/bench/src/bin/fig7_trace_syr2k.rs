@@ -17,4 +17,8 @@ fn main() {
             &table.to_csv(),
         );
     }
+    println!("Observability (critical path verified against the makespan):");
+    for (lib, summary) in figs::fig7_obs(&topo, n) {
+        println!("{}:\n{summary}", lib.name());
+    }
 }

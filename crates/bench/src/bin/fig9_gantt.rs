@@ -10,4 +10,12 @@ fn main() {
     let topo = xk_topo::dgx1();
     println!("Fig. 9 — composition Gantt (N={n}, block 2048)\n");
     print!("{}", figs::fig9_gantt(&topo, n, 2048, 110));
+    match figs::fig9_export_traces(&topo, n, 2048) {
+        Ok(paths) => {
+            for p in paths {
+                println!("perfetto trace: {} (open in ui.perfetto.dev)", p.display());
+            }
+        }
+        Err(e) => eprintln!("trace export failed: {e}"),
+    }
 }

@@ -3,7 +3,7 @@
 
 use xk_baselines::RunParams;
 use xk_kernels::{Diag, Routine, Side, Trans, Uplo};
-use xk_runtime::{Heuristics, RuntimeConfig, SchedulerKind};
+use xk_runtime::{Heuristics, ObsLevel, ObsReport, RuntimeConfig, SchedulerKind};
 use xk_topo::Topology;
 use xk_trace::Trace;
 use xkblas_core::{gemm_async, trsm_async, Context, Matrix};
@@ -20,6 +20,9 @@ pub struct CompositionResult {
     /// Longest instant with no device active (the synchronization hole of
     /// Fig. 9; ~0 for XKBlas).
     pub sync_gap: f64,
+    /// Observability reports of the underlying simulated runs: one for the
+    /// fused XKBlas graph, one per synchronous call for Chameleon.
+    pub obs: Vec<ObsReport>,
 }
 
 /// Combined flop count of the composition at dimension `n`.
@@ -32,6 +35,7 @@ pub fn composition_flops(n: usize) -> f64 {
 pub fn run_xkblas_composition(topo: &Topology, n: usize, tile: usize) -> CompositionResult {
     let mut ctx = Context::<f64>::new(topo.clone(), RuntimeConfig::xkblas(), tile);
     ctx.set_simulation_only(true);
+    ctx.set_observability(ObsLevel::Full);
     let a = Matrix::<f64>::phantom(n, n);
     let b = Matrix::<f64>::phantom(n, n);
     let c = Matrix::<f64>::phantom(n, n);
@@ -47,6 +51,7 @@ pub fn run_xkblas_composition(topo: &Topology, n: usize, tile: usize) -> Composi
         seconds: sim.makespan,
         tflops: sim.tflops(flops),
         sync_gap: sim.trace.longest_kernel_gap(),
+        obs: sim.obs.into_iter().collect(),
         trace: sim.trace,
     }
 }
@@ -74,6 +79,7 @@ pub fn run_chameleon_composition(topo: &Topology, n: usize, tile: usize) -> Comp
     };
     let r1 = xk_baselines::run_on_runtime(topo, &params(Routine::Trsm), cfg(), true);
     let r2 = xk_baselines::run_on_runtime(topo, &params(Routine::Gemm), cfg(), true);
+    let obs = r1.obs.into_iter().chain(r2.obs).collect();
     let mut trace = r1.trace;
     let mut second = r2.trace;
     second.shift(r1.seconds);
@@ -84,6 +90,7 @@ pub fn run_chameleon_composition(topo: &Topology, n: usize, tile: usize) -> Comp
         tflops: composition_flops(n) / seconds / 1e12,
         sync_gap: trace.longest_kernel_gap(),
         trace,
+        obs,
     }
 }
 

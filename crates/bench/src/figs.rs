@@ -6,6 +6,7 @@ use std::fmt::Write as _;
 
 use xk_baselines::{run, Library, RunParams, XkVariant};
 use xk_kernels::Routine;
+use xk_runtime::{ObsReport, SimSession};
 use xk_topo::{dgx1, Topology, DGX1_TABLE1};
 use xk_trace::SpanKind;
 
@@ -61,7 +62,7 @@ pub fn table1_platform() -> String {
 /// Fig. 2: GPU↔GPU bandwidth matrix in GB/s from simulated point-to-point
 /// transfers, next to the paper's measured values.
 pub fn fig2_bandwidth(topo: &Topology) -> Table {
-    let measured = xk_runtime::measure_bandwidth_matrix(topo, 64 << 20);
+    let measured = SimSession::on(topo).bandwidth_matrix(64 << 20);
     let n = topo.n_gpus();
     let mut header = vec!["D\\D".to_string()];
     header.extend((0..n).map(|j| j.to_string()));
@@ -211,6 +212,56 @@ pub fn fig5_libraries(topo: &Topology, dims: &[usize]) -> Vec<(Routine, Table)> 
         .collect()
 }
 
+/// Asserts the critical-path invariant on one finished run and hands back
+/// its observability report: the chain reconstructed from the span DAG
+/// must end exactly (bit-for-bit) at the makespan.
+fn checked_obs<'r>(lib: Library, r: &'r xk_baselines::RunResult) -> Option<&'r ObsReport> {
+    let obs = r.obs.as_ref()?;
+    if let Some(cp) = &obs.critical_path {
+        assert_eq!(
+            cp.length.to_bits(),
+            obs.makespan.to_bits(),
+            "{}: critical path {} != makespan {}",
+            lib.name(),
+            cp.length,
+            obs.makespan
+        );
+    }
+    Some(obs)
+}
+
+/// Renders one run's observability summary: the top-3 hot links and the
+/// critical-path composition.
+pub fn obs_summary(obs: &ObsReport) -> String {
+    let mut out = String::new();
+    for l in obs.hot_links(3) {
+        let _ = writeln!(
+            out,
+            "  hot link {:<16} busy {:.3}s  util {:>5.1}%  contention wait {:.3}s  {:.2} GiB",
+            l.name,
+            l.busy,
+            l.utilization * 100.0,
+            l.wait,
+            l.bytes as f64 / (1u64 << 30) as f64
+        );
+    }
+    if let Some(cp) = &obs.critical_path {
+        let _ = write!(
+            out,
+            "  critical path {:.3}s over {} spans:",
+            cp.length, cp.total_segments
+        );
+        for kind in SpanKind::ALL {
+            let secs = cp.kind_seconds(kind);
+            if secs > 0.0 {
+                let _ = write!(out, " {} {:.3}s", kind.label(), secs);
+            }
+        }
+        let _ = writeln!(out, ", runtime {:.3}s", cp.runtime_gap);
+    }
+    out
+}
+
 /// Libraries of the trace figures (Fig. 6 uses six; we show the modelled
 /// ones that run GEMM).
 const FIG6_LIBS: [Library; 6] = [
@@ -233,6 +284,7 @@ pub fn fig6_trace_gemm(topo: &Topology, n: usize) -> Table {
         let Ok((_, r)) = best(lib, topo, Routine::Gemm, n, false) else {
             continue;
         };
+        let _ = checked_obs(lib, &r);
         let b = r.trace.breakdown();
         let total = b.total().max(1e-12);
         t.row(vec![
@@ -251,6 +303,32 @@ pub fn fig6_trace_gemm(topo: &Topology, n: usize) -> Table {
     t
 }
 
+/// Fig. 6 companion: the per-library observability summary (hot links +
+/// critical-path composition) of the same GEMM runs, with the CP invariant
+/// asserted on every configuration.
+pub fn fig6_obs(topo: &Topology, n: usize) -> Vec<(Library, String)> {
+    FIG6_LIBS
+        .iter()
+        .filter_map(|&lib| {
+            let (_, r) = best(lib, topo, Routine::Gemm, n, false).ok()?;
+            let obs = checked_obs(lib, &r)?;
+            Some((lib, obs_summary(obs)))
+        })
+        .collect()
+}
+
+/// Fig. 7 companion: observability summaries of the SYR2K runs.
+pub fn fig7_obs(topo: &Topology, n: usize) -> Vec<(Library, String)> {
+    [Library::ChameleonTile, Library::CublasXt, Library::XkBlas(XkVariant::Full)]
+        .into_iter()
+        .filter_map(|lib| {
+            let (_, r) = best(lib, topo, Routine::Syr2k, n, false).ok()?;
+            let obs = checked_obs(lib, &r)?;
+            Some((lib, obs_summary(obs)))
+        })
+        .collect()
+}
+
 /// Fig. 7: per-GPU time breakdown of SYR2K at the given dimension
 /// (paper: 49152) for Chameleon Tile, cuBLAS-XT and XKBlas.
 pub fn fig7_trace_syr2k(topo: &Topology, n: usize) -> Vec<(Library, Table, f64)> {
@@ -258,6 +336,7 @@ pub fn fig7_trace_syr2k(topo: &Topology, n: usize) -> Vec<(Library, Table, f64)>
         .into_iter()
         .filter_map(|lib| {
             let (_, r) = best(lib, topo, Routine::Syr2k, n, false).ok()?;
+            let _ = checked_obs(lib, &r);
             let mut t = Table::new(&["gpu", "DtoH s", "HtoD s", "PtoP s", "Kernel s"]);
             let per = r.trace.breakdown_per_device();
             for g in 0..topo.n_gpus() {
@@ -308,6 +387,9 @@ pub fn fig9_gantt(topo: &Topology, n: usize, tile: usize, width: usize) -> Strin
         x.sync_gap * 1e3
     );
     out.push_str(&xk_trace::gantt::render(&x.trace, topo.n_gpus(), &opts));
+    for obs in &x.obs {
+        out.push_str(&obs_summary(obs));
+    }
     let _ = writeln!(
         out,
         "\nChameleon Tile composition: {:.3}s, longest global gap {:.1} ms",
@@ -315,7 +397,32 @@ pub fn fig9_gantt(topo: &Topology, n: usize, tile: usize, width: usize) -> Strin
         c.sync_gap * 1e3
     );
     out.push_str(&xk_trace::gantt::render(&c.trace, topo.n_gpus(), &opts));
+    for obs in &c.obs {
+        out.push_str(&obs_summary(obs));
+    }
     out
+}
+
+/// Exports the Fig. 9 composition traces as Chrome `trace_event` JSON under
+/// `results/` (open in `ui.perfetto.dev` or `chrome://tracing`); returns
+/// the written paths.
+pub fn fig9_export_traces(
+    topo: &Topology,
+    n: usize,
+    tile: usize,
+) -> Result<Vec<std::path::PathBuf>, xk_runtime::Error> {
+    let x = run_xkblas_composition(topo, n, tile);
+    let c = run_chameleon_composition(topo, n, tile);
+    Ok(vec![
+        crate::report::write_result(
+            "fig9_xkblas_composition.trace.json",
+            &xk_trace::export::chrome_json(&x.trace),
+        )?,
+        crate::report::write_result(
+            "fig9_chameleon_composition.trace.json",
+            &xk_trace::export::chrome_json(&c.trace),
+        )?,
+    ])
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@ pub mod sweep;
 pub use composition::{
     composition_flops, run_chameleon_composition, run_xkblas_composition, CompositionResult,
 };
-pub use report::{fmt_tflops, write_csv, Table};
+pub use report::{fmt_tflops, write_csv, write_result, Table};
 pub use runcache::{CacheStats, RunCache, RunKey};
 pub use sweep::{
     best_tile_run, best_tile_run_with, sweep_series, sweep_series_par, SeriesPoint, PAPER_DIMS,

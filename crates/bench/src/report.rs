@@ -76,13 +76,21 @@ impl Table {
     }
 }
 
-/// Writes CSV content under `results/`, creating the directory.
-pub fn write_csv(name: &str, content: &str) -> std::io::Result<std::path::PathBuf> {
+/// Writes a result artifact (CSV, exported trace JSON, ...) under
+/// `results/`, creating the directory. Failures come back as the
+/// workspace-wide [`xk_runtime::Error::Io`] carrying the path that broke.
+pub fn write_result(name: &str, content: &str) -> Result<std::path::PathBuf, xk_runtime::Error> {
     let dir = Path::new("results");
-    std::fs::create_dir_all(dir)?;
+    std::fs::create_dir_all(dir).map_err(|e| xk_runtime::Error::io(dir.display().to_string(), e))?;
     let path = dir.join(name);
-    std::fs::write(&path, content)?;
+    std::fs::write(&path, content)
+        .map_err(|e| xk_runtime::Error::io(path.display().to_string(), e))?;
     Ok(path)
+}
+
+/// Writes CSV content under `results/` (see [`write_result`]).
+pub fn write_csv(name: &str, content: &str) -> Result<std::path::PathBuf, xk_runtime::Error> {
+    write_result(name, content)
 }
 
 /// Formats an optional TFlop/s value ("-" when absent, e.g. OOM).

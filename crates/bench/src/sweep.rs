@@ -46,13 +46,14 @@ fn run_point(
     }
 }
 
-/// Keeps the error that tells the caller the most: a concrete resource
-/// failure beats the catch-all `Unsupported`.
+/// Keeps the error that tells the caller the most (the workspace-wide
+/// [`RunError::most_informative`] rule: a concrete resource failure beats
+/// the catch-all `Unsupported`).
 fn more_informative(seen: Option<RunError>, new: RunError) -> Option<RunError> {
-    match (seen, new) {
-        (Some(RunError::OutOfMemory), _) => Some(RunError::OutOfMemory),
-        (_, e) => Some(e),
-    }
+    Some(match seen {
+        Some(old) => old.most_informative(new),
+        None => new,
+    })
 }
 
 /// Reduces candidate outcomes (in candidate order) to the winning

@@ -14,8 +14,8 @@ use xk_kernels::perfmodel::TileOp;
 use xk_kernels::Scalar;
 use xk_runtime::task::TaskBody;
 use xk_runtime::{
-    run_parallel, simulate, DataInfo, HandleId, ParOutcome, RuntimeConfig, SimOutcome, TaskAccess,
-    TaskGraph, TaskLabel,
+    run_parallel, DataInfo, HandleId, ObsLevel, ParOutcome, RuntimeConfig, SimOutcome, SimSession,
+    TaskAccess, TaskGraph, TaskLabel,
 };
 use xk_topo::{Device, Topology};
 
@@ -43,6 +43,7 @@ pub struct Context<T: Scalar> {
     calls: usize,
     sim_only: bool,
     tile_layout: bool,
+    obs: ObsLevel,
     _scalar: PhantomData<T>,
 }
 
@@ -68,6 +69,7 @@ impl<T: Scalar> Context<T> {
             calls: 0,
             sim_only: false,
             tile_layout: false,
+            obs: ObsLevel::default(),
             _scalar: PhantomData,
         }
     }
@@ -88,6 +90,18 @@ impl<T: Scalar> Context<T> {
     /// True when the context drops numeric bodies.
     pub fn simulation_only(&self) -> bool {
         self.sim_only
+    }
+
+    /// Sets the observability level for simulated runs. Counters and the
+    /// critical path never perturb the simulation — traces stay
+    /// bit-identical across levels.
+    pub fn set_observability(&mut self, level: ObsLevel) {
+        self.obs = level;
+    }
+
+    /// The observability level simulated runs execute under.
+    pub fn observability(&self) -> ObsLevel {
+        self.obs
     }
 
     /// Pretends matrices are stored in *tile layout* (contiguous tiles, as
@@ -245,16 +259,22 @@ impl<T: Scalar> Context<T> {
     /// the context.
     pub fn run_simulated(&mut self) -> SimOutcome {
         let graph = self.take_graph();
-        simulate(&graph, &self.topo, &self.cfg)
+        self.session().run(&graph).into_outcome()
     }
 
     /// Executes the composed graph both ways: numerically (for values) and
     /// simulated (for timing); returns the simulation outcome.
     pub fn run_both(&mut self, threads: usize) -> SimOutcome {
         let mut graph = self.take_graph();
-        let sim = simulate(&graph, &self.topo, &self.cfg);
+        let sim = self.session().run(&graph).into_outcome();
         run_parallel(&mut graph, threads);
         sim
+    }
+
+    fn session(&self) -> SimSession<'_> {
+        SimSession::on(&self.topo)
+            .config(self.cfg.clone())
+            .observe(self.obs)
     }
 
     fn take_graph(&mut self) -> TaskGraph {

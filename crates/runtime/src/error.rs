@@ -1,0 +1,164 @@
+//! The workspace-wide run error.
+//!
+//! One enum replaces the three ad-hoc failure paths that grew up around the
+//! harness: library capability errors (`Unsupported` / `OutOfMemory`,
+//! previously `xk_baselines::RunError`), the sweep's best-tile fallback
+//! bookkeeping, and bench I/O errors (previously raw `std::io::Error`).
+//! `#[non_exhaustive]` keeps room for future variants without breaking
+//! downstream matches.
+
+use std::sync::Arc;
+
+/// Why a run (or the harness around it) failed.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// The library does not implement this routine on GPUs.
+    Unsupported,
+    /// The library's allocator fails at this size (BLASX above N = 45000,
+    /// §IV-D / Fig. 5 caption).
+    OutOfMemory,
+    /// A harness I/O operation failed (writing a CSV, a trace export...).
+    Io {
+        /// What was being done, usually the file path involved.
+        context: String,
+        /// The underlying error. `Arc`-wrapped so run results stay
+        /// cheaply cloneable (the run cache clones outcomes on every hit).
+        source: Arc<std::io::Error>,
+    },
+}
+
+impl Error {
+    /// Wraps an I/O error with its context.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        Error::Io {
+            context: context.into(),
+            source: Arc::new(source),
+        }
+    }
+
+    /// How much a failure tells the caller: a concrete resource failure
+    /// beats the catch-all `Unsupported`, and an environmental I/O failure
+    /// beats both (it means the harness, not the library, broke).
+    fn rank(&self) -> u8 {
+        match self {
+            Error::Unsupported => 0,
+            Error::OutOfMemory => 1,
+            Error::Io { .. } => 2,
+        }
+    }
+
+    /// Of two failures, keeps the more informative one; on equal rank the
+    /// newer (`other`) wins. This is the sweep's error-folding rule: after
+    /// trying every tile candidate, report the failure that best explains
+    /// why no tile worked.
+    pub fn most_informative(self, other: Error) -> Error {
+        if self.rank() > other.rank() {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl PartialEq for Error {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Error::Unsupported, Error::Unsupported) => true,
+            (Error::OutOfMemory, Error::OutOfMemory) => true,
+            // io::Error is not PartialEq; kind + context identify the
+            // failure for test assertions and cache-consistency checks.
+            (
+                Error::Io { context: ca, source: sa },
+                Error::Io { context: cb, source: sb },
+            ) => ca == cb && sa.kind() == sb.kind(),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Error {}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Unsupported => write!(f, "routine not implemented by this library"),
+            Error::OutOfMemory => write!(f, "memory allocation error"),
+            Error::Io { context, source } => write!(f, "I/O error ({context}): {source}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::io("unspecified I/O operation", e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io;
+
+    #[test]
+    fn most_informative_prefers_concrete_failures() {
+        // OOM survives a later Unsupported (the old sweep rule).
+        assert_eq!(
+            Error::OutOfMemory.most_informative(Error::Unsupported),
+            Error::OutOfMemory
+        );
+        assert_eq!(
+            Error::Unsupported.most_informative(Error::OutOfMemory),
+            Error::OutOfMemory
+        );
+        // Equal rank: the newer error wins (also the old rule).
+        assert_eq!(
+            Error::Unsupported.most_informative(Error::Unsupported),
+            Error::Unsupported
+        );
+        let io_err = Error::io("x", io::Error::other("boom"));
+        assert_eq!(
+            Error::OutOfMemory.most_informative(io_err.clone()),
+            io_err
+        );
+    }
+
+    #[test]
+    fn io_equality_is_by_kind_and_context() {
+        let a = Error::io("f.csv", io::Error::new(io::ErrorKind::NotFound, "a"));
+        let b = Error::io("f.csv", io::Error::new(io::ErrorKind::NotFound, "b"));
+        let c = Error::io("g.csv", io::Error::new(io::ErrorKind::NotFound, "a"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, Error::Unsupported);
+    }
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        assert_eq!(
+            Error::Unsupported.to_string(),
+            "routine not implemented by this library"
+        );
+        assert_eq!(Error::OutOfMemory.to_string(), "memory allocation error");
+        let e = Error::io("out.json", io::Error::other("disk full"));
+        assert!(e.to_string().contains("out.json"));
+        assert!(e.source().is_some());
+        assert!(Error::Unsupported.source().is_none());
+    }
+
+    #[test]
+    fn from_io_error() {
+        let e: Error = io::Error::new(io::ErrorKind::PermissionDenied, "no").into();
+        assert!(matches!(e, Error::Io { .. }));
+    }
+}

@@ -11,14 +11,16 @@
 //!
 //! Two executors consume the same [`TaskGraph`]:
 //!
-//! * [`simulate`] — a deterministic discrete-event simulation of a
-//!   multi-GPU node (the substitution for the paper's DGX-1), producing a
-//!   makespan and an [`xk_trace::Trace`];
+//! * [`SimSession`] — the front door to a deterministic discrete-event
+//!   simulation of a multi-GPU node (the substitution for the paper's
+//!   DGX-1), producing a makespan, an [`xk_trace::Trace`] and — when
+//!   observability is on — an [`ObsReport`] with link occupancy,
+//!   contention wait and the critical path;
 //! * [`run_parallel`] — a crossbeam work-stealing pool that actually
 //!   executes the tile kernels on host memory, validating the numerics.
 //!
 //! ```
-//! use xk_runtime::{TaskGraph, RuntimeConfig, simulate};
+//! use xk_runtime::{ObsLevel, RuntimeConfig, SimSession, TaskGraph};
 //! use xk_runtime::task::{Access, TaskAccess};
 //! use xk_kernels::perfmodel::TileOp;
 //!
@@ -29,8 +31,14 @@
 //!     vec![TaskAccess { handle: c, access: Access::ReadWrite }],
 //!     "gemm C(0,0)",
 //! );
-//! let outcome = simulate(&graph, &xk_topo::dgx1(), &RuntimeConfig::xkblas());
-//! assert_eq!(outcome.tasks_run, 1);
+//! let topo = xk_topo::dgx1();
+//! let run = SimSession::on(&topo)
+//!     .config(RuntimeConfig::xkblas())
+//!     .observe(ObsLevel::Full)
+//!     .run(&graph);
+//! assert_eq!(run.outcome().tasks_run, 1);
+//! let report = run.metrics().unwrap();
+//! assert_eq!(report.critical_path.as_ref().unwrap().length, run.outcome().makespan);
 //! ```
 
 #![warn(missing_docs)]
@@ -38,17 +46,25 @@
 pub mod cache;
 pub mod config;
 pub mod data;
+pub mod error;
 pub mod graph;
 pub mod heuristics;
+pub mod obs;
 pub mod par_exec;
 pub mod sched;
+pub mod session;
 pub mod sim_exec;
 pub mod task;
 
 pub use cache::{Eviction, ReplicaState, SoftwareCache};
 pub use config::{Heuristics, RuntimeConfig, SchedulerKind};
 pub use data::{DataInfo, DataRegistry, HandleId};
+pub use error::Error;
 pub use graph::TaskGraph;
+pub use obs::{CpSegment, CriticalPath, GpuObs, LinkStats, ObsLevel, ObsReport};
 pub use par_exec::{run_parallel, ParOutcome};
-pub use sim_exec::{measure_bandwidth_matrix, simulate, SimExecutor, SimOutcome};
+pub use session::{Run, SimSession};
+#[allow(deprecated)]
+pub use sim_exec::{measure_bandwidth_matrix, simulate};
+pub use sim_exec::{SimExecutor, SimOutcome};
 pub use task::{Access, Task, TaskAccess, TaskAccesses, TaskId, TaskKind, TaskLabel};

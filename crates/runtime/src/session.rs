@@ -1,0 +1,207 @@
+//! The front-door API for simulated runs: [`SimSession`].
+//!
+//! Historically every caller wired the executor by hand — `simulate(graph,
+//! topo, cfg)` here, `measure_bandwidth_matrix(topo, bytes)` there, ad-hoc
+//! plumbing per bench binary. The session consolidates that into one
+//! builder:
+//!
+//! ```
+//! use xk_runtime::{ObsLevel, RuntimeConfig, SimSession};
+//! use xk_runtime::task::{Access, TaskAccess};
+//! use xk_kernels::perfmodel::TileOp;
+//!
+//! let mut graph = xk_runtime::TaskGraph::new();
+//! let c = graph.add_host_tile(32 << 20, true, "C(0,0)");
+//! graph.add_task(
+//!     TileOp::Gemm { m: 2048, n: 2048, k: 2048 },
+//!     vec![TaskAccess { handle: c, access: Access::ReadWrite }],
+//!     "gemm C(0,0)",
+//! );
+//!
+//! let topo = xk_topo::dgx1();
+//! let run = SimSession::on(&topo)
+//!     .config(RuntimeConfig::xkblas())
+//!     .observe(ObsLevel::Full)
+//!     .run(&graph);
+//! assert_eq!(run.outcome().tasks_run, 1);
+//! assert!(run.metrics().is_some()); // link occupancy, critical path, ...
+//! ```
+
+use xk_topo::Topology;
+
+use crate::config::RuntimeConfig;
+use crate::graph::TaskGraph;
+use crate::obs::{ObsLevel, ObsReport};
+use crate::sim_exec::{bandwidth_matrix_of, SimExecutor, SimOutcome};
+use xk_trace::Trace;
+
+/// A configured simulation session on one topology: the single entry point
+/// for running task graphs and probing the machine model.
+///
+/// Cheap to build and `Clone`-free by design — it borrows the topology and
+/// owns only the configuration, so a session can be kept around and used
+/// for many runs.
+#[derive(Debug)]
+pub struct SimSession<'t> {
+    topo: &'t Topology,
+    cfg: RuntimeConfig,
+    obs: ObsLevel,
+}
+
+impl<'t> SimSession<'t> {
+    /// Starts a session on `topo` with the XKBlas-like default
+    /// configuration and [`ObsLevel::Counters`] observability.
+    pub fn on(topo: &'t Topology) -> Self {
+        SimSession {
+            topo,
+            cfg: RuntimeConfig::xkblas(),
+            obs: ObsLevel::default(),
+        }
+    }
+
+    /// Replaces the runtime configuration.
+    pub fn config(mut self, cfg: RuntimeConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the observability level for subsequent runs. Observability
+    /// never changes simulation results — traces are bit-identical across
+    /// levels.
+    pub fn observe(mut self, level: ObsLevel) -> Self {
+        self.obs = level;
+        self
+    }
+
+    /// The session's runtime configuration.
+    pub fn cfg(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// The session's observability level.
+    pub fn obs_level(&self) -> ObsLevel {
+        self.obs
+    }
+
+    /// Simulates `graph` to completion.
+    pub fn run(&self, graph: &TaskGraph) -> Run {
+        Run {
+            outcome: SimExecutor::new(graph, self.topo, &self.cfg)
+                .observe(self.obs)
+                .run(),
+        }
+    }
+
+    /// Point-to-point bandwidth matrix of the session's topology, GB/s,
+    /// from one `bytes`-sized transfer per device pair on an idle machine
+    /// (regenerates the paper's Fig. 2 from the model).
+    pub fn bandwidth_matrix(&self, bytes: u64) -> Vec<Vec<f64>> {
+        bandwidth_matrix_of(self.topo, bytes)
+    }
+}
+
+/// A completed simulated run, as returned by [`SimSession::run`].
+#[derive(Clone, Debug)]
+pub struct Run {
+    outcome: SimOutcome,
+}
+
+impl Run {
+    /// The raw outcome (makespan, byte counters, trace, observability).
+    pub fn outcome(&self) -> &SimOutcome {
+        &self.outcome
+    }
+
+    /// The execution trace.
+    pub fn trace(&self) -> &Trace {
+        &self.outcome.trace
+    }
+
+    /// The observability report; `None` when the session ran at
+    /// [`ObsLevel::Off`].
+    pub fn metrics(&self) -> Option<&ObsReport> {
+        self.outcome.obs.as_ref()
+    }
+
+    /// Unwraps into the owned [`SimOutcome`].
+    pub fn into_outcome(self) -> SimOutcome {
+        self.outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::DataInfo;
+    use crate::task::{Access, TaskAccess};
+    use xk_kernels::perfmodel::TileOp;
+    use xk_topo::dgx1;
+
+    fn graph() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let shared = g.add_host_tile(32 << 20, true, "A");
+        for i in 0..4 {
+            let c = g.add_data(DataInfo::host(32 << 20, true, format!("C{i}")).with_owner(i));
+            g.add_task(
+                TileOp::Gemm { m: 2048, n: 2048, k: 2048 },
+                vec![
+                    TaskAccess { handle: shared, access: Access::Read },
+                    TaskAccess { handle: c, access: Access::ReadWrite },
+                ],
+                format!("t{i}"),
+            );
+        }
+        g
+    }
+
+    #[test]
+    fn session_matches_legacy_entry_point() {
+        let topo = dgx1();
+        let cfg = RuntimeConfig::xkblas();
+        let run = SimSession::on(&topo)
+            .config(cfg.clone())
+            .observe(ObsLevel::Full)
+            .run(&graph());
+        // The deprecated wrapper must stay bit-identical to the session —
+        // this is the one intentional call site.
+        #[allow(deprecated)]
+        let legacy = crate::sim_exec::simulate(&graph(), &topo, &cfg);
+        assert_eq!(run.outcome().makespan.to_bits(), legacy.makespan.to_bits());
+        assert_eq!(run.trace().len(), legacy.trace.len());
+        assert_eq!(run.outcome().bytes_h2d, legacy.bytes_h2d);
+        assert!(legacy.obs.is_none());
+        assert!(run.metrics().is_some());
+    }
+
+    #[test]
+    fn observe_level_controls_metrics() {
+        let topo = dgx1();
+        let g = graph();
+        let off = SimSession::on(&topo).observe(ObsLevel::Off).run(&g);
+        assert!(off.metrics().is_none());
+        let counters = SimSession::on(&topo).observe(ObsLevel::Counters).run(&g);
+        let m = counters.metrics().expect("counters recorded");
+        assert!(m.critical_path.is_none());
+        assert!(!m.links.is_empty());
+        let full = SimSession::on(&topo).observe(ObsLevel::Full).run(&g);
+        assert!(full.metrics().unwrap().critical_path.is_some());
+    }
+
+    #[test]
+    fn bandwidth_matrix_matches_legacy() {
+        let topo = dgx1();
+        let m = SimSession::on(&topo).bandwidth_matrix(64 << 20);
+        #[allow(deprecated)]
+        let legacy = crate::sim_exec::measure_bandwidth_matrix(&topo, 64 << 20);
+        assert_eq!(m, legacy);
+    }
+
+    #[test]
+    fn run_into_outcome_round_trips() {
+        let topo = dgx1();
+        let run = SimSession::on(&topo).run(&graph());
+        let makespan = run.outcome().makespan;
+        let outcome = run.into_outcome();
+        assert_eq!(outcome.makespan, makespan);
+    }
+}

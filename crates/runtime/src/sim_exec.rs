@@ -18,16 +18,20 @@ use std::collections::VecDeque;
 
 use xk_sim::{Clock, Duration, EngineId, EnginePool, SimTime};
 use xk_topo::{BusSegment, Device, Topology};
-use xk_trace::{Label, Place, Span, SpanKind, Trace};
+use xk_trace::{FlowId, Label, Place, Span, SpanKind, Trace};
 
 use crate::cache::{Eviction, SoftwareCache};
 use crate::config::RuntimeConfig;
 use crate::data::HandleId;
 use crate::graph::TaskGraph;
 use crate::heuristics::{select_source, SourceDecision};
+use crate::obs::{GpuObs, ObsLevel, ObsRecorder, ObsReport};
 use crate::sched::{make_scheduler, pick_victim, SchedView, Scheduler};
 use crate::task::{TaskId, TaskKind};
 use xk_kernels::PITCHED_COPY_FACTOR;
+
+/// Sentinel for "no observability node".
+const NO_NODE: u32 = u32::MAX;
 
 /// Result of a simulated run.
 #[derive(Clone, Debug)]
@@ -47,6 +51,9 @@ pub struct SimOutcome {
     /// Number of tasks executed on a GPU other than their owner hint
     /// (work-stealing migrations).
     pub steals: usize,
+    /// Link occupancy / contention / critical-path report; `None` when the
+    /// run was recorded at [`ObsLevel::Off`].
+    pub obs: Option<ObsReport>,
 }
 
 impl SimOutcome {
@@ -76,6 +83,10 @@ struct GpuState {
     kernel_streams: Vec<EngineId>,
     queue: VecDeque<TaskId>,
     in_flight: usize,
+    /// High-water mark of `queue.len()` (queue-depth-over-time summary).
+    max_queue: usize,
+    /// High-water mark of `in_flight`.
+    max_in_flight: usize,
 }
 
 /// The simulated executor.
@@ -100,8 +111,10 @@ pub struct SimExecutor<'a> {
     clock: Clock<Ev>,
     pending: Vec<usize>,
     assigned_to: Vec<Option<usize>>,
-    /// Prefetch completion time per task, recorded at assignment time.
-    prefetched: Vec<Option<(usize, SimTime)>>,
+    /// Per task, recorded at assignment time: prefetch target GPU, input
+    /// completion time, the observability node of the binding input
+    /// transfer and the flow chain it belongs to.
+    prefetched: Vec<Option<(usize, SimTime, u32, FlowId)>>,
     /// Final writer of each handle (eager flush only writes back the last
     /// version, like Chameleon's flush-on-release annotations).
     final_writer: Vec<Option<TaskId>>,
@@ -122,6 +135,13 @@ pub struct SimExecutor<'a> {
     scratch_lens: Vec<usize>,
     scratch_handles: Vec<HandleId>,
     scratch_engines: Vec<EngineId>,
+    /// Flow chain of each handle's current broadcast: set by the H2D (or
+    /// first D2D) that brought the tile on device, inherited by forwards,
+    /// consuming kernels and write-backs. Always maintained — flat `u32`
+    /// writes — so traces are identical across observability levels.
+    flow_root: Vec<FlowId>,
+    /// Occupancy/contention/critical-path recorder.
+    obs: ObsRecorder,
     bytes_h2d: u64,
     bytes_d2h: u64,
     bytes_p2p: u64,
@@ -147,6 +167,8 @@ impl<'a> SimExecutor<'a> {
                 kernel_streams: vec![pool.add(format!("gpu{g}.kernel"))],
                 queue: VecDeque::new(),
                 in_flight: 0,
+                max_queue: 0,
+                max_in_flight: 0,
             })
             .collect();
         let uplinks: Vec<EngineId> = (0..topo.n_switches())
@@ -186,6 +208,13 @@ impl<'a> SimExecutor<'a> {
         let data_labels: Vec<Label> = (0..graph.data().len())
             .map(|i| trace.intern(&graph.data().info(HandleId(i)).label))
             .collect();
+        let obs = ObsRecorder::new(
+            ObsLevel::default(),
+            pool.len(),
+            graph.data().len(),
+            n,
+            graph.len(),
+        );
         SimExecutor {
             graph,
             topo,
@@ -213,12 +242,28 @@ impl<'a> SimExecutor<'a> {
             scratch_lens: Vec::with_capacity(n),
             scratch_handles: Vec::new(),
             scratch_engines: Vec::new(),
+            flow_root: vec![FlowId::NONE; graph.data().len()],
+            obs,
             bytes_h2d: 0,
             bytes_d2h: 0,
             bytes_p2p: 0,
             tasks_done: 0,
             steals: 0,
         }
+    }
+
+    /// Sets the observability level for this run (default:
+    /// [`ObsLevel::Counters`]). Observability never changes the simulation —
+    /// traces and makespans are bit-identical across levels.
+    pub fn observe(mut self, level: ObsLevel) -> Self {
+        self.obs = ObsRecorder::new(
+            level,
+            self.pool.len(),
+            self.graph.data().len(),
+            self.gpus.len(),
+            self.graph.len(),
+        );
+        self
     }
 
     /// Runs the graph to completion and returns the outcome.
@@ -239,14 +284,40 @@ impl<'a> SimExecutor<'a> {
             self.tasks_done,
             self.graph.len()
         );
+        let makespan = self.trace.makespan();
+        let obs = if self.obs.enabled() {
+            let gpu_rows: Vec<GpuObs> = self
+                .gpus
+                .iter()
+                .enumerate()
+                .map(|(g, s)| GpuObs {
+                    gpu: g,
+                    kernel_busy: s
+                        .kernel_streams
+                        .iter()
+                        .map(|&e| self.pool.busy_total(e).seconds())
+                        .sum(),
+                    max_queue: s.max_queue,
+                    max_in_flight: s.max_in_flight,
+                })
+                .collect();
+            let recorder = std::mem::replace(
+                &mut self.obs,
+                ObsRecorder::new(ObsLevel::Off, 0, 0, 0, 0),
+            );
+            Some(recorder.into_report(&self.trace, &self.pool, makespan, gpu_rows))
+        } else {
+            None
+        };
         SimOutcome {
-            makespan: self.trace.makespan(),
+            makespan,
             trace: self.trace,
             bytes_h2d: self.bytes_h2d,
             bytes_d2h: self.bytes_d2h,
             bytes_p2p: self.bytes_p2p,
             tasks_run: self.tasks_done,
             steals: self.steals,
+            obs,
         }
     }
 
@@ -289,6 +360,7 @@ impl<'a> SimExecutor<'a> {
             // StarPU-class runtimes fetch when the task nears execution:
             // the deferred (launch-time) acquire path handles it.
             self.gpus[g].queue.push_back(t);
+            self.gpus[g].max_queue = self.gpus[g].max_queue.max(self.gpus[g].queue.len());
             self.clock.schedule(self.clock.now(), Ev::TryLaunch(g));
             if self.scheduler.allows_stealing() {
                 for other in 0..self.gpus.len() {
@@ -304,13 +376,14 @@ impl<'a> SimExecutor<'a> {
         // This is what overlaps communication with computation — and what
         // creates the simultaneous duplicate host reads that the optimistic
         // heuristic removes (§III-C).
-        if let Some(ready) = self.acquire_inputs(t, g, false) {
-            self.prefetched[t.0] = Some((g, ready.max(submitted)));
+        if let Some((ready, dep, flow)) = self.acquire_inputs(t, g, false) {
+            self.prefetched[t.0] = Some((g, ready.max(submitted), dep, flow));
         } else {
             // Remember the submission constraint for the deferred acquire.
             self.prefetched[t.0] = None;
         }
         self.gpus[g].queue.push_back(t);
+        self.gpus[g].max_queue = self.gpus[g].max_queue.max(self.gpus[g].queue.len());
         self.clock.schedule(self.clock.now(), Ev::TryLaunch(g));
         // Under work stealing, idle peers must get a chance to pick this
         // task up if the owner is saturated.
@@ -365,9 +438,16 @@ impl<'a> SimExecutor<'a> {
 
     /// Acquires all inputs of `t` on GPU `g` (capacity, transfers, output
     /// residency) and pins its working set; returns when the last input
-    /// becomes usable, or `None` (with nothing pinned) when the working set
-    /// does not fit next to the currently pinned tiles and `force` is off.
-    fn acquire_inputs(&mut self, t: TaskId, g: usize, force: bool) -> Option<SimTime> {
+    /// becomes usable plus the observability node and flow chain of the
+    /// *binding* input (the one whose arrival dominates), or `None` (with
+    /// nothing pinned) when the working set does not fit next to the
+    /// currently pinned tiles and `force` is off.
+    fn acquire_inputs(
+        &mut self,
+        t: TaskId,
+        g: usize,
+        force: bool,
+    ) -> Option<(SimTime, u32, FlowId)> {
         let now = self.clock.now();
         // Copy the graph reference: its borrows live for 'a, independently
         // of `&mut self`, so task accesses can be iterated without
@@ -406,11 +486,18 @@ impl<'a> SimExecutor<'a> {
         }
         self.scratch_handles = pins;
 
-        // Input transfers.
+        // Input transfers. The strictly-later comparison keeps the *first*
+        // dominating input on exact ties, deterministically.
         let mut input_ready = now;
+        let mut dep = NO_NODE;
+        let mut flow = FlowId::NONE;
         for h in task.read_handles() {
-            let ready = self.fetch(h, g, now);
-            input_ready = input_ready.max(ready);
+            let (ready, node, f) = self.fetch(h, g, now);
+            if ready > input_ready {
+                input_ready = ready;
+                dep = node;
+                flow = f;
+            }
             self.cache.touch(h, g);
         }
         // Write-only outputs just need residency.
@@ -420,7 +507,7 @@ impl<'a> SimExecutor<'a> {
                 self.cache.allocate_output(h, g, bytes);
             }
         }
-        Some(input_ready)
+        Some((input_ready, dep, flow))
     }
 
     fn unpin_task(&mut self, t: TaskId, g: usize) {
@@ -434,20 +521,20 @@ impl<'a> SimExecutor<'a> {
     /// assignment; a stolen task re-acquires them on the thief).
     fn launch(&mut self, t: TaskId, g: usize) {
         let task = self.graph.task(t);
-        let input_ready = match self.prefetched[t.0] {
-            Some((pg, ready)) if pg == g => ready,
+        let (input_ready, dep, flow) = match self.prefetched[t.0] {
+            Some((pg, ready, dep, flow)) if pg == g => (ready, dep, flow),
             other => {
                 // Stolen (prefetched elsewhere) or deferred by memory
                 // pressure: acquire on this GPU now, releasing any stale
                 // pins on the original target.
-                if let Some((pg, _)) = other {
+                if let Some((pg, ..)) = other {
                     self.unpin_task(t, pg);
                 }
-                let ready = self
+                let (ready, dep, flow) = self
                     .acquire_inputs(t, g, true)
                     .expect("forced acquire always succeeds");
-                self.prefetched[t.0] = Some((g, ready));
-                ready
+                self.prefetched[t.0] = Some((g, ready, dep, flow));
+                (ready, dep, flow)
             }
         };
 
@@ -463,7 +550,13 @@ impl<'a> SimExecutor<'a> {
             .map(|(i, _)| i)
             .expect("stream");
         let stream = self.gpus[g].kernel_streams[stream_idx];
+        let bound = if self.obs.enabled() {
+            self.pool.bottleneck(&[stream], input_ready)
+        } else {
+            None
+        };
         let res = self.pool.reserve(&[stream], input_ready, dur);
+        let idx = self.trace.len() as u32;
         self.trace.push(Span {
             place: Place::Gpu(g as u32),
             lane: (3 + stream_idx) as u8,
@@ -472,13 +565,30 @@ impl<'a> SimExecutor<'a> {
             end: res.end.seconds(),
             bytes: 0,
             label: self.task_labels[t.0],
+            flow,
         });
+        self.obs.record(
+            idx,
+            &[stream],
+            bound,
+            res.start.seconds() - input_ready.seconds(),
+            0,
+            dep,
+        );
+        if self.obs.full() {
+            // This kernel is now the op that makes its outputs valid here.
+            for h in task.written_handles() {
+                self.obs.set_valid_node(h.0, g, idx);
+            }
+        }
         self.gpus[g].in_flight += 1;
+        self.gpus[g].max_in_flight = self.gpus[g].max_in_flight.max(self.gpus[g].in_flight);
         self.clock.schedule(res.end, Ev::TaskDone(t));
     }
 
-    /// Ensures `h` is (or will be) valid on `g`; returns when it is usable.
-    fn fetch(&mut self, h: HandleId, g: usize, now: SimTime) -> SimTime {
+    /// Ensures `h` is (or will be) valid on `g`; returns when it is usable,
+    /// the observability node that makes it so, and its flow chain.
+    fn fetch(&mut self, h: HandleId, g: usize, now: SimTime) -> (SimTime, u32, FlowId) {
         let n = self.gpus.len();
         let nvlinks = &self.nvlinks;
         let pool = &self.pool;
@@ -506,7 +616,11 @@ impl<'a> SimExecutor<'a> {
         );
         let info = self.graph.data().info(h);
         match decision {
-            SourceDecision::AlreadyThere { ready_at } => ready_at,
+            SourceDecision::AlreadyThere { ready_at } => {
+                // Valid (or in flight) here already: the binding op is
+                // whatever made/makes it valid, on this replica's chain.
+                (ready_at, self.obs.valid_node(h.0, g), self.flow_root[h.0])
+            }
             SourceDecision::FromGpu { src } => self.issue_p2p(h, src, g, now, info.bytes),
             SourceDecision::ForwardAfter { via, ready_at } => {
                 self.issue_p2p(h, via, g, now.max(ready_at), info.bytes)
@@ -522,10 +636,18 @@ impl<'a> SimExecutor<'a> {
                 engines.clear();
                 engines.push(self.gpus[g].pcie_in);
                 self.push_segment_engines(&route.segments, &mut engines);
+                let bound = if self.obs.enabled() {
+                    self.pool.bottleneck(&engines, now)
+                } else {
+                    None
+                };
                 let res = self.pool.reserve(&engines, now, dur);
-                self.scratch_engines = engines;
                 self.cache.begin_transfer(h, g, info.bytes, res.end);
                 self.bytes_h2d += info.bytes;
+                let idx = self.trace.len() as u32;
+                // An H2D read roots a fresh broadcast chain for this tile.
+                let flow = FlowId(idx);
+                self.flow_root[h.0] = flow;
                 self.trace.push(Span {
                     place: Place::Gpu(g as u32),
                     lane: 0,
@@ -534,13 +656,31 @@ impl<'a> SimExecutor<'a> {
                     end: res.end.seconds(),
                     bytes: info.bytes,
                     label: self.data_labels[h.0],
+                    flow,
                 });
-                res.end
+                self.obs.record(
+                    idx,
+                    &engines,
+                    bound,
+                    res.start.seconds() - now.seconds(),
+                    info.bytes,
+                    NO_NODE, // source is host memory: no simulated predecessor
+                );
+                self.scratch_engines = engines;
+                self.obs.set_valid_node(h.0, g, idx);
+                (res.end, idx, flow)
             }
         }
     }
 
-    fn issue_p2p(&mut self, h: HandleId, src: usize, dst: usize, earliest: SimTime, bytes: u64) -> SimTime {
+    fn issue_p2p(
+        &mut self,
+        h: HandleId,
+        src: usize,
+        dst: usize,
+        earliest: SimTime,
+        bytes: u64,
+    ) -> (SimTime, u32, FlowId) {
         let n = self.gpus.len();
         let route = self.topo.route(Device::Gpu(src), Device::Gpu(dst));
         // Device copies are compacted tiles (§III-A): full link bandwidth.
@@ -557,10 +697,26 @@ impl<'a> SimExecutor<'a> {
             }
         }
         self.push_segment_engines(&route.segments, &mut engines);
+        // The forward depends on whatever put the tile on the source GPU —
+        // for `ForwardAfter` that is the still-in-flight inbound H2D, i.e.
+        // exactly the optimistic H2D → P2P chain of §III-C.
+        let dep = self.obs.valid_node(h.0, src);
+        let bound = if self.obs.enabled() {
+            self.pool.bottleneck(&engines, earliest)
+        } else {
+            None
+        };
         let res = self.pool.reserve(&engines, earliest, dur);
-        self.scratch_engines = engines;
         self.cache.begin_transfer(h, dst, bytes, res.end);
         self.bytes_p2p += bytes;
+        let idx = self.trace.len() as u32;
+        let mut flow = self.flow_root[h.0];
+        if flow == FlowId::NONE {
+            // Data-on-device tile never read from the host: the first
+            // forward roots its chain.
+            flow = FlowId(idx);
+            self.flow_root[h.0] = flow;
+        }
         self.trace.push(Span {
             place: Place::Gpu(dst as u32),
             lane: 0,
@@ -569,8 +725,19 @@ impl<'a> SimExecutor<'a> {
             end: res.end.seconds(),
             bytes,
             label: self.data_labels[h.0],
+            flow,
         });
-        res.end
+        self.obs.record(
+            idx,
+            &engines,
+            bound,
+            res.start.seconds() - earliest.seconds(),
+            bytes,
+            dep,
+        );
+        self.scratch_engines = engines;
+        self.obs.set_valid_node(h.0, dst, idx);
+        (res.end, idx, flow)
     }
 
     fn issue_d2h(&mut self, h: HandleId, g: usize, earliest: SimTime) -> SimTime {
@@ -585,9 +752,15 @@ impl<'a> SimExecutor<'a> {
         engines.clear();
         engines.push(self.gpus[g].pcie_out);
         self.push_segment_engines(&route.segments, &mut engines);
+        let dep = self.obs.valid_node(h.0, g);
+        let bound = if self.obs.enabled() {
+            self.pool.bottleneck(&engines, earliest)
+        } else {
+            None
+        };
         let res = self.pool.reserve(&engines, earliest, dur);
-        self.scratch_engines = engines;
         self.bytes_d2h += info.bytes;
+        let idx = self.trace.len() as u32;
         self.trace.push(Span {
             place: Place::Gpu(g as u32),
             lane: 2,
@@ -596,7 +769,17 @@ impl<'a> SimExecutor<'a> {
             end: res.end.seconds(),
             bytes: info.bytes,
             label: self.data_labels[h.0],
+            flow: self.flow_root[h.0],
         });
+        self.obs.record(
+            idx,
+            &engines,
+            bound,
+            res.start.seconds() - earliest.seconds(),
+            info.bytes,
+            dep,
+        );
+        self.scratch_engines = engines;
         res.end
     }
 
@@ -627,7 +810,7 @@ impl<'a> SimExecutor<'a> {
         let task = graph.task(t);
         if task.kind == TaskKind::Kernel {
             let g = self.assigned_to[t.0].expect("kernel was assigned");
-            if let Some((pg, _)) = self.prefetched[t.0] {
+            if let Some((pg, ..)) = self.prefetched[t.0] {
                 self.unpin_task(t, pg);
             }
             for h in task.written_handles() {
@@ -670,14 +853,20 @@ impl<'a> SimExecutor<'a> {
 }
 
 /// Convenience: simulate `graph` on `topo` under `cfg`.
+#[deprecated(
+    since = "0.5.0",
+    note = "use `SimSession::on(topo).config(cfg.clone()).run(graph)` — the \
+            session front door also exposes observability (`Run::metrics`) \
+            and trace export"
+)]
 pub fn simulate(graph: &TaskGraph, topo: &Topology, cfg: &RuntimeConfig) -> SimOutcome {
-    SimExecutor::new(graph, topo, cfg).run()
+    // The historical entry point recorded nothing beyond the trace.
+    SimExecutor::new(graph, topo, cfg).observe(ObsLevel::Off).run()
 }
 
-/// Measures the point-to-point bandwidth matrix of a topology by timing a
-/// single `bytes`-sized transfer between every device pair on an idle
-/// machine (regenerates the paper's Fig. 2 from the model).
-pub fn measure_bandwidth_matrix(topo: &Topology, bytes: u64) -> Vec<Vec<f64>> {
+/// Point-to-point bandwidth matrix of a topology: one `bytes`-sized
+/// transfer between every device pair on an idle machine (Fig. 2).
+pub(crate) fn bandwidth_matrix_of(topo: &Topology, bytes: u64) -> Vec<Vec<f64>> {
     let n = topo.n_gpus();
     let mut out = vec![vec![0.0; n]; n];
     for (i, row) in out.iter_mut().enumerate() {
@@ -688,6 +877,17 @@ pub fn measure_bandwidth_matrix(topo: &Topology, bytes: u64) -> Vec<Vec<f64>> {
         }
     }
     out
+}
+
+/// Measures the point-to-point bandwidth matrix of a topology by timing a
+/// single `bytes`-sized transfer between every device pair on an idle
+/// machine (regenerates the paper's Fig. 2 from the model).
+#[deprecated(
+    since = "0.5.0",
+    note = "use `SimSession::on(topo).bandwidth_matrix(bytes)`"
+)]
+pub fn measure_bandwidth_matrix(topo: &Topology, bytes: u64) -> Vec<Vec<f64>> {
+    bandwidth_matrix_of(topo, bytes)
 }
 
 #[cfg(test)]
@@ -710,6 +910,12 @@ mod tests {
 
     fn tiny_op() -> TileOp {
         TileOp::Gemm { m: 512, n: 512, k: 512 }
+    }
+
+    /// Shadows the deprecated free function: unit tests run at
+    /// [`ObsLevel::Full`] so every path also exercises the recorder.
+    fn simulate(graph: &TaskGraph, topo: &Topology, cfg: &RuntimeConfig) -> SimOutcome {
+        SimExecutor::new(graph, topo, cfg).observe(ObsLevel::Full).run()
     }
 
     /// A graph where every GPU reads the same host tile once.
@@ -873,7 +1079,7 @@ mod tests {
     #[test]
     fn bandwidth_matrix_matches_topology() {
         let topo = dgx1();
-        let m = measure_bandwidth_matrix(&topo, 64 * MB);
+        let m = bandwidth_matrix_of(&topo, 64 * MB);
         assert!((m[0][3] - 96.4).abs() < 2.0, "{}", m[0][3]);
         assert!((m[0][1] - 48.4).abs() < 2.0, "{}", m[0][1]);
         assert!(m[0][5] < 20.0);
@@ -892,5 +1098,117 @@ mod tests {
         cfg.eager_flush = true;
         let out = simulate(&g, &topo, &cfg);
         assert!(out.bytes_d2h >= 4 * MB);
+    }
+
+    #[test]
+    fn obs_off_yields_none_and_identical_trace() {
+        let topo = dgx1();
+        let cfg = RuntimeConfig::default();
+        let off = SimExecutor::new(&broadcast_graph(8), &topo, &cfg)
+            .observe(ObsLevel::Off)
+            .run();
+        let full = simulate(&broadcast_graph(8), &topo, &cfg);
+        assert!(off.obs.is_none());
+        assert!(full.obs.is_some());
+        // Observability must never perturb the simulation.
+        assert_eq!(off.makespan.to_bits(), full.makespan.to_bits());
+        assert_eq!(off.trace.len(), full.trace.len());
+        for (a, b) in off.trace.spans().iter().zip(full.trace.spans()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn obs_critical_path_length_equals_makespan() {
+        let topo = dgx1();
+        let out = simulate(&broadcast_graph(8), &topo, &RuntimeConfig::default());
+        let report = out.obs.expect("full obs");
+        assert_eq!(report.makespan.to_bits(), out.makespan.to_bits());
+        let cp = report.critical_path.expect("full level records the path");
+        assert_eq!(cp.length.to_bits(), out.makespan.to_bits());
+        // The chain durations plus runtime gaps tile [0, makespan].
+        let covered: f64 = cp.by_kind.values().sum::<f64>() + cp.runtime_gap;
+        assert!(
+            (covered - cp.length).abs() <= 1e-9 * cp.length.max(1.0),
+            "chain covers {covered}, makespan {}",
+            cp.length
+        );
+        assert!(cp.total_segments >= 1);
+        assert!(!cp.segments.is_empty());
+    }
+
+    #[test]
+    fn obs_counters_match_trace_sums() {
+        let topo = dgx1();
+        let out = simulate(&broadcast_graph(8), &topo, &RuntimeConfig::default());
+        let report = out.obs.expect("obs");
+        // Per-GPU kernel busy time == sum of that GPU's kernel spans.
+        let loads = out.trace.kernel_load_per_gpu(8);
+        for row in &report.gpus {
+            assert!(
+                (row.kernel_busy - loads[row.gpu]).abs() < 1e-12,
+                "gpu{} busy {} vs spans {}",
+                row.gpu,
+                row.kernel_busy,
+                loads[row.gpu]
+            );
+        }
+        // Bytes through all pcie_in engines == total H2D bytes (this graph
+        // has no PCIe peer traffic: P2P rides NVLink bricks on the DGX-1).
+        let pcie_in_bytes: u64 = report
+            .links
+            .iter()
+            .filter(|l| l.name.ends_with(".pcie_in"))
+            .map(|l| l.bytes)
+            .sum();
+        assert_eq!(pcie_in_bytes, out.bytes_h2d);
+        let nvlink_bytes: u64 = report
+            .links
+            .iter()
+            .filter(|l| l.name.starts_with("nvlink"))
+            .map(|l| l.bytes)
+            .sum();
+        assert_eq!(nvlink_bytes, out.bytes_p2p);
+    }
+
+    #[test]
+    fn obs_contention_wait_on_shared_host_link() {
+        // pcie_only: every GPU pulls its tile through shared switch
+        // uplinks — contended reservations must charge wait somewhere.
+        let topo = xk_topo::builders::pcie_only(8);
+        let out = simulate(&broadcast_graph(8), &topo, &RuntimeConfig::default());
+        let report = out.obs.expect("obs");
+        let total_wait: f64 = report.links.iter().map(|l| l.wait).sum();
+        assert!(total_wait > 0.0, "no contention wait recorded");
+        assert!(report.hot_links(3).len() == 3);
+    }
+
+    #[test]
+    fn flows_link_h2d_to_forwards_and_kernels() {
+        let topo = dgx1();
+        let out = simulate(&broadcast_graph(8), &topo, &RuntimeConfig::default());
+        // The shared tile's H2D roots a chain that its P2P forwards join.
+        let h2d_flows: Vec<FlowId> = out
+            .trace
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::H2D)
+            .map(|s| s.flow)
+            .collect();
+        assert!(h2d_flows.iter().all(|&f| f != FlowId::NONE));
+        let p2p_on_chain = out
+            .trace
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::P2P && h2d_flows.contains(&s.flow))
+            .count();
+        assert!(p2p_on_chain > 0, "no P2P joined an H2D chain");
+        let kernels_on_chain = out
+            .trace
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Kernel && s.flow != FlowId::NONE)
+            .count();
+        assert!(kernels_on_chain > 0, "no kernel joined a flow chain");
     }
 }

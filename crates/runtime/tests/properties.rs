@@ -4,9 +4,16 @@
 use proptest::prelude::*;
 use xk_kernels::perfmodel::TileOp;
 use xk_runtime::task::{Access, TaskAccess};
-use xk_runtime::{simulate, DataInfo, Heuristics, RuntimeConfig, SchedulerKind, TaskGraph};
-use xk_topo::dgx1;
+use xk_runtime::{
+    DataInfo, Heuristics, RuntimeConfig, SchedulerKind, SimOutcome, SimSession, TaskGraph,
+};
+use xk_topo::{dgx1, Topology};
 use xk_trace::SpanKind;
+
+/// All simulated runs go through the session front door.
+fn simulate(graph: &TaskGraph, topo: &Topology, cfg: &RuntimeConfig) -> SimOutcome {
+    SimSession::on(topo).config(cfg.clone()).run(graph).into_outcome()
+}
 
 const MB: u64 = 1 << 20;
 

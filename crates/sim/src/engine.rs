@@ -87,6 +87,26 @@ impl EnginePool {
             .fold(earliest, |acc, id| acc.max(self.engines[id.0].free_at))
     }
 
+    /// The engine of `ids` that *binds* a joint reservation requested at
+    /// `earliest`: the one whose `free_at` is latest and strictly after
+    /// `earliest`. Returns `None` when no engine delays the start (the
+    /// operation is not contended). Ties keep the first engine in `ids`,
+    /// so the attribution is deterministic.
+    ///
+    /// Must be queried *before* [`EnginePool::reserve`] mutates `free_at` —
+    /// observability layers use it to charge contention wait to the
+    /// saturated link.
+    pub fn bottleneck(&self, ids: &[EngineId], earliest: SimTime) -> Option<EngineId> {
+        let mut best: Option<(EngineId, SimTime)> = None;
+        for &id in ids {
+            let f = self.engines[id.0].free_at;
+            if f > earliest && best.map(|(_, bf)| f > bf).unwrap_or(true) {
+                best = Some((id, f));
+            }
+        }
+        best.map(|(id, _)| id)
+    }
+
     /// Jointly reserves every engine in `ids` for `duration`, starting no
     /// earlier than `earliest`. Returns the realized `[start, end)` window.
     ///
@@ -191,6 +211,21 @@ mod tests {
         assert!((pool.utilization(a, SimTime::new(2.0)) - 0.5).abs() < 1e-12);
         assert_eq!(pool.utilization(a, SimTime::ZERO), 0.0);
         assert_eq!(pool.utilization(a, SimTime::new(0.5)), 1.0);
+    }
+
+    #[test]
+    fn bottleneck_identifies_binding_engine() {
+        let mut pool = EnginePool::new();
+        let a = pool.add("a");
+        let b = pool.add("b");
+        pool.reserve(&[a], SimTime::ZERO, Duration::new(2.0));
+        pool.reserve(&[b], SimTime::ZERO, Duration::new(5.0));
+        // b frees last: it binds a joint request at t=0.
+        assert_eq!(pool.bottleneck(&[a, b], SimTime::ZERO), Some(b));
+        // Requested after both free: nothing binds.
+        assert_eq!(pool.bottleneck(&[a, b], SimTime::new(6.0)), None);
+        // Only a binds when the request lands between the two frees.
+        assert_eq!(pool.bottleneck(&[a], SimTime::new(1.0)), Some(a));
     }
 
     #[test]

@@ -118,7 +118,7 @@ pub fn render(trace: &Trace, n_gpus: usize, opts: &GanttOptions) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::span::{Label, Span};
+    use crate::span::{FlowId, Label, Span};
 
     fn t() -> Trace {
         let mut t = Trace::new();
@@ -130,6 +130,7 @@ mod tests {
             end: 0.5,
             bytes: 10,
             label: Label::NONE,
+            flow: FlowId::NONE,
         });
         t.push(Span {
             place: Place::Gpu(0),
@@ -139,6 +140,7 @@ mod tests {
             end: 1.0,
             bytes: 0,
             label: Label::NONE,
+            flow: FlowId::NONE,
         });
         t.push(Span {
             place: Place::Gpu(1),
@@ -148,6 +150,7 @@ mod tests {
             end: 1.0,
             bytes: 0,
             label: Label::NONE,
+            flow: FlowId::NONE,
         });
         t
     }

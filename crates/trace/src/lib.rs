@@ -18,17 +18,22 @@
 //! loop.
 //!
 //! ```
-//! use xk_trace::{Trace, Span, SpanKind, Place};
+//! use xk_trace::{Trace, Span, SpanKind, Place, FlowId};
 //!
 //! let mut trace = Trace::new();
 //! let a00 = trace.intern("A(0,0)");
 //! trace.push(Span { place: Place::Gpu(0), lane: 0, kind: SpanKind::H2D,
-//!                   start: 0.0, end: 0.1, bytes: 1 << 20, label: a00 });
+//!                   start: 0.0, end: 0.1, bytes: 1 << 20, label: a00,
+//!                   flow: FlowId(0) });
 //! let dgemm = trace.intern("dgemm");
 //! trace.push(Span { place: Place::Gpu(0), lane: 1, kind: SpanKind::Kernel,
-//!                   start: 0.1, end: 0.5, bytes: 0, label: dgemm });
+//!                   start: 0.1, end: 0.5, bytes: 0, label: dgemm,
+//!                   flow: FlowId(0) });
 //! assert!(trace.breakdown().transfer_ratio() < 0.5);
 //! assert_eq!(trace.label(dgemm), "dgemm");
+//! // One click in ui.perfetto.dev away:
+//! let json = xk_trace::export::chrome_json(&trace);
+//! assert!(json.contains("traceEvents"));
 //! ```
 
 #![warn(missing_docs)]
@@ -40,5 +45,5 @@ mod span;
 mod trace;
 
 pub use gantt::GanttOptions;
-pub use span::{Label, Place, Span, SpanKind};
+pub use span::{FlowId, Label, Place, Span, SpanKind};
 pub use trace::{Breakdown, Trace};

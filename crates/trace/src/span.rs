@@ -85,6 +85,28 @@ impl Default for Label {
     }
 }
 
+/// A data-flow chain identifier linking the spans of one tile broadcast:
+/// the H2D read that brought a tile on device, every device-to-device
+/// forward of that copy, and the kernels that consumed it.
+///
+/// Flow ids are dense per trace (executors use the span index of the chain
+/// root). [`FlowId::NONE`] marks spans that belong to no chain. The Chrome
+/// `trace_event` export renders each chain as flow arrows, making the
+/// optimistic D2D forwarding (paper §III-C) directly visible in a viewer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize, PartialOrd, Ord)]
+pub struct FlowId(pub u32);
+
+impl FlowId {
+    /// No flow membership.
+    pub const NONE: FlowId = FlowId(u32::MAX);
+}
+
+impl Default for FlowId {
+    fn default() -> Self {
+        FlowId::NONE
+    }
+}
+
 /// One timed operation.
 #[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
 pub struct Span {
@@ -106,6 +128,11 @@ pub struct Span {
     /// Short description (kernel name, tile coordinates...), interned in
     /// the owning [`crate::Trace`] — resolve with [`crate::Trace::label`].
     pub label: Label,
+    /// Data-flow chain membership ([`FlowId::NONE`] when unlinked).
+    /// Defaults on deserialization so traces recorded before flow tracking
+    /// still load.
+    #[serde(default)]
+    pub flow: FlowId,
 }
 
 impl Span {
@@ -137,6 +164,7 @@ mod tests {
             end: 3.5,
             bytes: 0,
             label: Label::NONE,
+            flow: FlowId::NONE,
         };
         assert!((s.duration() - 2.5).abs() < 1e-12);
     }
@@ -145,6 +173,7 @@ mod tests {
     fn label_none_is_default() {
         assert_eq!(Label::default(), Label::NONE);
         assert_ne!(Label(0), Label::NONE);
+        assert_eq!(FlowId::default(), FlowId::NONE);
     }
 
     #[test]

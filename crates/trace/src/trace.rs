@@ -4,7 +4,26 @@ use std::collections::{BTreeMap, HashMap};
 
 use serde::{Deserialize, Serialize};
 
-use crate::span::{Label, Place, Span, SpanKind};
+use crate::span::{FlowId, Label, Place, Span, SpanKind};
+
+/// Longest hole in a set of `(start, end)` intervals, ignoring the idle
+/// lead-in before the first interval starts (`[0, first_start)` is warm-up —
+/// e.g. host-side setup — not a synchronization gap).
+fn longest_interval_gap(mut intervals: Vec<(f64, f64)>) -> f64 {
+    if intervals.is_empty() {
+        return 0.0;
+    }
+    intervals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut gap: f64 = 0.0;
+    let mut covered_until = intervals[0].0;
+    for (s, e) in intervals {
+        if s > covered_until {
+            gap = gap.max(s - covered_until);
+        }
+        covered_until = covered_until.max(e);
+    }
+    gap
+}
 
 /// A complete execution trace: every engine operation of a simulated run.
 ///
@@ -213,22 +232,9 @@ impl Trace {
     /// The longest gap with *no* span active anywhere, within `[0, makespan]`.
     /// The composition analysis (Fig. 9) uses this: XKBlas keeps GPUs busy
     /// across routine calls while Chameleon shows synchronization gaps.
+    /// Idle time before the first span starts does not count as a gap.
     pub fn longest_global_gap(&self) -> f64 {
-        if self.spans.is_empty() {
-            return 0.0;
-        }
-        let mut intervals: Vec<(f64, f64)> =
-            self.spans.iter().map(|s| (s.start, s.end)).collect();
-        intervals.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let mut gap: f64 = 0.0;
-        let mut covered_until = intervals[0].0; // gap before first span ignored
-        for (s, e) in intervals {
-            if s > covered_until {
-                gap = gap.max(s - covered_until);
-            }
-            covered_until = covered_until.max(e);
-        }
-        gap
+        longest_interval_gap(self.spans.iter().map(|s| (s.start, s.end)).collect())
     }
 
     /// The longest interval with no *kernel* running on any device, within
@@ -236,34 +242,34 @@ impl Trace {
     /// holes in the composition Gantt (Fig. 9): during Chameleon's
     /// inter-call redistribution every GPU computes nothing.
     pub fn longest_kernel_gap(&self) -> f64 {
-        let mut intervals: Vec<(f64, f64)> = self
-            .spans
-            .iter()
-            .filter(|s| s.kind == SpanKind::Kernel)
-            .map(|s| (s.start, s.end))
-            .collect();
-        if intervals.is_empty() {
-            return 0.0;
-        }
-        intervals.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let mut gap: f64 = 0.0;
-        let mut covered_until = intervals[0].0;
-        for (s, e) in intervals {
-            if s > covered_until {
-                gap = gap.max(s - covered_until);
-            }
-            covered_until = covered_until.max(e);
-        }
-        gap
+        longest_interval_gap(
+            self.spans
+                .iter()
+                .filter(|s| s.kind == SpanKind::Kernel)
+                .map(|s| (s.start, s.end))
+                .collect(),
+        )
     }
 
     /// Merges another trace into this one (used when composing calls).
     /// The other trace's labels are re-interned into this trace's symbol
-    /// table and its spans remapped accordingly.
+    /// table and its spans remapped accordingly; its flow chains are
+    /// renumbered past this trace's highest flow id so that chains from the
+    /// two runs never merge in a viewer.
     pub fn extend(&mut self, other: Trace) {
         let map: Vec<Label> = other.labels.iter().map(|s| self.intern(s)).collect();
+        let flow_base = self
+            .spans
+            .iter()
+            .filter(|s| s.flow != FlowId::NONE)
+            .map(|s| s.flow.0 + 1)
+            .max()
+            .unwrap_or(0);
         self.spans.extend(other.spans.into_iter().map(|mut s| {
             s.label = map.get(s.label.0 as usize).copied().unwrap_or(Label::NONE);
+            if s.flow != FlowId::NONE {
+                s.flow = FlowId(s.flow.0 + flow_base);
+            }
             s
         }));
     }
@@ -291,6 +297,7 @@ mod tests {
             end,
             bytes: if kind.is_transfer() { 100 } else { 0 },
             label: Label::NONE,
+            flow: FlowId::NONE,
         }
     }
 
@@ -335,6 +342,21 @@ mod tests {
         t.push(span(Place::Gpu(1), SpanKind::Kernel, 0.5, 1.2));
         t.push(span(Place::Gpu(0), SpanKind::Kernel, 3.0, 4.0));
         assert!((t.longest_global_gap() - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pre_first_span_idle_is_not_a_gap() {
+        // A run that warms up on the host before the first span at t=5 has
+        // no synchronization gap: [0, 5) is lead-in, not a hole.
+        let mut t = Trace::new();
+        t.push(span(Place::Gpu(0), SpanKind::Kernel, 5.0, 6.0));
+        t.push(span(Place::Gpu(0), SpanKind::Kernel, 6.0, 7.0));
+        assert_eq!(t.longest_global_gap(), 0.0);
+        assert_eq!(t.longest_kernel_gap(), 0.0);
+        // A genuine hole after the first span still registers.
+        t.push(span(Place::Gpu(0), SpanKind::Kernel, 9.0, 10.0));
+        assert!((t.longest_global_gap() - 2.0).abs() < 1e-12);
+        assert!((t.longest_kernel_gap() - 2.0).abs() < 1e-12);
     }
 
     #[test]
@@ -406,6 +428,28 @@ mod tests {
         for s in a.spans() {
             assert_eq!(a.label(s.label), "shared");
         }
+    }
+
+    #[test]
+    fn extend_renumbers_flows_past_existing_chains() {
+        let mut a = Trace::new();
+        let mut sa = span(Place::Gpu(0), SpanKind::H2D, 0.0, 1.0);
+        sa.flow = FlowId(0);
+        a.push(sa);
+
+        let mut b = Trace::new();
+        let mut sb0 = span(Place::Gpu(1), SpanKind::H2D, 0.0, 1.0);
+        sb0.flow = FlowId(0);
+        let mut sb1 = span(Place::Gpu(1), SpanKind::Kernel, 1.0, 2.0);
+        sb1.flow = FlowId::NONE;
+        b.push(sb0);
+        b.push(sb1);
+
+        a.extend(b);
+        // b's chain 0 must not collide with a's chain 0; NONE stays NONE.
+        assert_eq!(a.spans()[0].flow, FlowId(0));
+        assert_eq!(a.spans()[1].flow, FlowId(1));
+        assert_eq!(a.spans()[2].flow, FlowId::NONE);
     }
 
     #[test]

@@ -31,9 +31,11 @@
 //! ctx.memory_coherent_async(&c);
 //! ctx.run_numeric(0);
 //!
-//! // The same call, timed on the simulated 8-GPU DGX-1.
+//! // The same call, timed on the simulated 8-GPU DGX-1 with full
+//! // observability (link occupancy, contention, critical path).
 //! let mut sim_ctx = Context::<f64>::new(dgx1(), RuntimeConfig::xkblas(), 2048);
 //! sim_ctx.set_simulation_only(true);
+//! sim_ctx.set_observability(ObsLevel::Full);
 //! let (pa, pb, pc) = (Matrix::phantom(16384, 16384),
 //!                     Matrix::phantom(16384, 16384),
 //!                     Matrix::phantom(16384, 16384));
@@ -41,6 +43,9 @@
 //! sim_ctx.memory_coherent_async(&pc);
 //! let outcome = sim_ctx.run_simulated();
 //! assert!(outcome.makespan > 0.0);
+//! let report = outcome.obs.expect("full observability");
+//! let cp = report.critical_path.expect("critical path recorded");
+//! assert_eq!(cp.length, outcome.makespan);
 //! ```
 
 pub use xk_baselines as baselines;
@@ -54,7 +59,9 @@ pub use xkblas_core as blas;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use xk_runtime::{Heuristics, RuntimeConfig, SchedulerKind};
+    pub use xk_runtime::{
+        Error, Heuristics, ObsLevel, ObsReport, RuntimeConfig, SchedulerKind, SimSession,
+    };
     pub use xk_topo::{builders, dgx1, Device, Topology};
     pub use xkblas_core::{
         gemm_async, symm_async, syr2k_async, syrk_async, trmm_async, trsm_async, Context, Diag,

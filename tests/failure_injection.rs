@@ -3,8 +3,13 @@
 
 use xkblas_repro::baselines::{run, Library, RunParams, XkVariant};
 use xkblas_repro::prelude::*;
-use xkblas_repro::runtime::{simulate, TaskGraph};
+use xkblas_repro::runtime::{SimOutcome, SimSession, TaskGraph};
 use xkblas_repro::topo::{builders, LinkSpec, Topology};
+
+/// All simulated runs go through the session front door.
+fn simulate(graph: &TaskGraph, topo: &Topology, cfg: &RuntimeConfig) -> SimOutcome {
+    SimSession::on(topo).config(cfg.clone()).run(graph).into_outcome()
+}
 
 fn gemm_params(n: usize, tile: usize) -> RunParams {
     RunParams {
