@@ -225,6 +225,7 @@ pub fn run_cublasxt(topo: &Topology, params: &RunParams) -> RunResult {
         tasks_run: 0,
         steals: 0,
         obs: None,
+        failures: Vec::new(),
     };
     outcome_to_result(sim, params)
 }

@@ -1,0 +1,244 @@
+//! Exploration loops: run many controlled schedules of one (graph,
+//! topology, config) scenario, feed every one through the differential
+//! oracle, and count distinct schedules by choice-log fingerprint.
+
+use std::collections::HashSet;
+
+use xk_runtime::cache::CoherenceMutation;
+use xk_runtime::{RuntimeConfig, SimExecutor, SimOutcome, TaskGraph};
+use xk_topo::Topology;
+
+use crate::controllers::{DfsController, RandomController, ReplayController};
+use crate::witness::Witness;
+
+/// One failing schedule, fully replayable.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Seed of the random controller that found it (`u64::MAX` for DFS
+    /// runs — replay from `choices` instead).
+    pub seed: u64,
+    /// The exact decision sequence; [`replay`] reproduces the schedule.
+    pub choices: Vec<u32>,
+    /// Human-readable oracle verdict.
+    pub error: String,
+}
+
+/// Result of a random exploration.
+#[derive(Clone, Debug, Default)]
+pub struct ExploreReport {
+    /// Schedules run.
+    pub runs: usize,
+    /// Distinct schedules among them (choice-log fingerprints).
+    pub distinct: usize,
+    /// Oracle failures, one per failing seed.
+    pub failures: Vec<Failure>,
+}
+
+/// Result of a DFS enumeration.
+#[derive(Clone, Debug, Default)]
+pub struct DfsReport {
+    /// Schedules run.
+    pub runs: usize,
+    /// Distinct schedules among them (always equals `runs` for a correct
+    /// enumeration).
+    pub distinct: usize,
+    /// True when the whole choice tree was visited within the budget.
+    pub exhausted: bool,
+    /// Oracle failures.
+    pub failures: Vec<Failure>,
+}
+
+fn run_one(
+    graph: &TaskGraph,
+    topo: &Topology,
+    cfg: &RuntimeConfig,
+    mutation: Option<CoherenceMutation>,
+    ctrl: &mut dyn xk_runtime::ScheduleController,
+) -> SimOutcome {
+    let mut ex = SimExecutor::new(graph, topo, cfg);
+    if let Some(m) = mutation {
+        ex = ex.inject_cache_mutation(m);
+    }
+    ex.control(ctrl).run()
+}
+
+/// Checks one outcome against the structural part of the differential
+/// oracle (every task ran; the simulated clock advanced for non-empty
+/// graphs).
+fn structural_check(graph: &TaskGraph, out: &SimOutcome) -> Result<(), String> {
+    if out.tasks_run != graph.len() {
+        return Err(format!("{} of {} tasks ran", out.tasks_run, graph.len()));
+    }
+    if !graph.is_empty() && !(out.makespan > 0.0) {
+        return Err(format!("makespan {} not positive", out.makespan));
+    }
+    if !out.failures.is_empty() {
+        return Err(format!("unexpected task failures: {:?}", out.failures));
+    }
+    Ok(())
+}
+
+/// Explores one random schedule per seed in `seeds`, checking each against
+/// the differential oracle. `mutation` injects a deliberate coherence bug
+/// (the oracle is then expected to report failures — that expectation is
+/// the checker's own mutation test).
+pub fn explore_random(
+    graph: &TaskGraph,
+    topo: &Topology,
+    cfg: &RuntimeConfig,
+    seeds: impl IntoIterator<Item = u64>,
+    mutation: Option<CoherenceMutation>,
+) -> ExploreReport {
+    let mut report = ExploreReport::default();
+    let mut fingerprints = HashSet::new();
+    for seed in seeds {
+        let mut rng = RandomController::new(seed);
+        let mut w = Witness::new(&mut rng);
+        let out = run_one(graph, topo, cfg, mutation, &mut w);
+        let verdict = structural_check(graph, &out)
+            .and_then(|()| w.check(graph).map_err(|e| e.to_string()));
+        let log = &rng.log;
+        report.runs += 1;
+        fingerprints.insert(log.fingerprint());
+        if let Err(error) = verdict {
+            report.failures.push(Failure { seed, choices: log.choices(), error });
+        }
+    }
+    report.distinct = fingerprints.len();
+    report
+}
+
+/// Like [`explore_random`] but with PCT-style controllers (hashed
+/// priorities, reshuffled every `change_every` decisions): reaches
+/// systematically-skewed orderings a uniform sampler is unlikely to hit.
+pub fn explore_pct(
+    graph: &TaskGraph,
+    topo: &Topology,
+    cfg: &RuntimeConfig,
+    seeds: impl IntoIterator<Item = u64>,
+    change_every: u64,
+) -> ExploreReport {
+    let mut report = ExploreReport::default();
+    let mut fingerprints = HashSet::new();
+    for seed in seeds {
+        let mut pct = crate::controllers::PctController::new(seed, change_every);
+        let mut w = Witness::new(&mut pct);
+        let out = run_one(graph, topo, cfg, None, &mut w);
+        let verdict = structural_check(graph, &out)
+            .and_then(|()| w.check(graph).map_err(|e| e.to_string()));
+        report.runs += 1;
+        fingerprints.insert(pct.log.fingerprint());
+        if let Err(error) = verdict {
+            report.failures.push(Failure { seed, choices: pct.log.choices(), error });
+        }
+    }
+    report.distinct = fingerprints.len();
+    report
+}
+
+/// Enumerates the choice tree depth-first, up to `max_runs` schedules,
+/// checking each against the differential oracle.
+pub fn explore_dfs(
+    graph: &TaskGraph,
+    topo: &Topology,
+    cfg: &RuntimeConfig,
+    max_runs: usize,
+) -> DfsReport {
+    let mut report = DfsReport::default();
+    let mut fingerprints = HashSet::new();
+    let mut prefix = Some(Vec::new());
+    while let Some(p) = prefix {
+        if report.runs >= max_runs {
+            return report; // budget exhausted, tree not.
+        }
+        let mut dfs = DfsController::new(p);
+        let mut w = Witness::new(&mut dfs);
+        let out = run_one(graph, topo, cfg, None, &mut w);
+        let verdict = structural_check(graph, &out)
+            .and_then(|()| w.check(graph).map_err(|e| e.to_string()));
+        report.runs += 1;
+        fingerprints.insert(dfs.log.fingerprint());
+        if let Err(error) = verdict {
+            report.failures.push(Failure {
+                seed: u64::MAX,
+                choices: dfs.log.choices(),
+                error,
+            });
+        }
+        prefix = DfsController::next_prefix(&dfs.log);
+    }
+    report.exhausted = true;
+    report.distinct = fingerprints.len();
+    report
+}
+
+/// Replays a recorded decision sequence and re-runs the differential
+/// oracle. Returns the outcome and the oracle verdict.
+pub fn replay(
+    graph: &TaskGraph,
+    topo: &Topology,
+    cfg: &RuntimeConfig,
+    choices: &[u32],
+    mutation: Option<CoherenceMutation>,
+) -> (SimOutcome, Result<(), String>) {
+    let mut rep = ReplayController::new(choices.to_vec());
+    let mut w = Witness::new(&mut rep);
+    let out = run_one(graph, topo, cfg, mutation, &mut w);
+    let verdict = structural_check(graph, &out)
+        .and_then(|()| w.check(graph).map_err(|e| e.to_string()));
+    (out, verdict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xk_bench::graphgen::{build_random_dag, RandomDagSpec};
+
+    #[test]
+    fn canonical_schedule_passes_the_oracle() {
+        let g = build_random_dag(1, &RandomDagSpec { flush: true, ..RandomDagSpec::default() });
+        let topo = xk_topo::dgx1();
+        let cfg = RuntimeConfig::default();
+        let (out, verdict) = replay(&g, &topo, &cfg, &[], None);
+        assert_eq!(out.tasks_run, g.len());
+        assert_eq!(verdict, Ok(()));
+    }
+
+    #[test]
+    fn random_exploration_finds_many_schedules_and_no_bugs() {
+        let g = build_random_dag(2, &RandomDagSpec::default());
+        let topo = xk_topo::dgx1();
+        let cfg = RuntimeConfig::default();
+        let r = explore_random(&g, &topo, &cfg, 0..40, None);
+        assert_eq!(r.runs, 40);
+        assert!(r.distinct > 10, "only {} distinct schedules in 40 runs", r.distinct);
+        assert!(r.failures.is_empty(), "spurious failures: {:?}", r.failures);
+    }
+
+    #[test]
+    fn dfs_exhausts_a_tiny_dag() {
+        let g = build_random_dag(
+            3,
+            &RandomDagSpec { tasks: 3, handles: 2, max_reads: 1, ..RandomDagSpec::default() },
+        );
+        let topo = xk_topo::builders::pcie_only(2);
+        let cfg = RuntimeConfig::default();
+        let r = explore_dfs(&g, &topo, &cfg, 50_000);
+        assert!(r.exhausted, "tiny tree not exhausted in {} runs", r.runs);
+        assert_eq!(r.distinct, r.runs, "DFS repeated a schedule");
+        assert!(r.failures.is_empty(), "failures: {:?}", r.failures);
+    }
+
+    #[test]
+    fn replay_reproduces_a_random_run() {
+        let g = build_random_dag(4, &RandomDagSpec::default());
+        let topo = xk_topo::dgx1();
+        let cfg = RuntimeConfig::default();
+        let mut rng = RandomController::new(99);
+        let out1 = run_one(&g, &topo, &cfg, None, &mut rng);
+        let (out2, verdict) = replay(&g, &topo, &cfg, &rng.log.choices(), None);
+        assert_eq!(out1.makespan.to_bits(), out2.makespan.to_bits());
+        assert_eq!(out1.bytes_p2p, out2.bytes_p2p);
+        assert_eq!(verdict, Ok(()));
+    }
+}

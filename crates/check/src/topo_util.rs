@@ -1,0 +1,193 @@
+//! Topology surgery for the metamorphic oracles: sub-machines, GPU-id
+//! permutations and uniform bandwidth scaling, all built through
+//! [`Topology::from_tables`] so the result revalidates.
+
+use xk_topo::{LinkSpec, Topology};
+
+/// Socket table per switch of `t` (switch index -> socket), reconstructed
+/// from the per-GPU views.
+fn switch_sockets(t: &Topology) -> Vec<usize> {
+    let mut out = vec![0usize; t.n_switches()];
+    for g in 0..t.n_gpus() {
+        out[t.switch_of(g)] = t.socket_of(g);
+    }
+    out
+}
+
+/// The first `n` GPUs of `t` as their own machine — the paper's scaling
+/// experiments run 1..=8 GPUs of the DGX-1 exactly this way (CUDA device
+/// masking keeps physical ids).
+pub fn subtopo(t: &Topology, n: usize) -> Topology {
+    assert!(n >= 1 && n <= t.n_gpus(), "bad GPU count {n}");
+    let mut gg = Vec::with_capacity(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            gg.push(*t.gpu_link(i, j));
+        }
+    }
+    let host: Vec<LinkSpec> = (0..n).map(|g| *t.host_link(g)).collect();
+    let switches: Vec<usize> = (0..n).map(|g| t.switch_of(g)).collect();
+    Topology::from_tables(
+        format!("{}-{n}gpu", t.name()),
+        n,
+        gg,
+        host,
+        switches,
+        switch_sockets(t),
+    )
+}
+
+/// Relabels GPUs: new GPU `i` is `t`'s GPU `perm[i]`. The machine is
+/// physically unchanged — only the ids move — which is exactly what the
+/// permutation metamorphic property wants to vary.
+pub fn permuted(t: &Topology, perm: &[usize]) -> Topology {
+    let n = t.n_gpus();
+    assert_eq!(perm.len(), n, "permutation arity");
+    let mut seen = vec![false; n];
+    for &p in perm {
+        assert!(p < n && !seen[p], "not a permutation: {perm:?}");
+        seen[p] = true;
+    }
+    let mut gg = Vec::with_capacity(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            gg.push(*t.gpu_link(perm[i], perm[j]));
+        }
+    }
+    let host: Vec<LinkSpec> = perm.iter().map(|&p| *t.host_link(p)).collect();
+    let switches: Vec<usize> = perm.iter().map(|&p| t.switch_of(p)).collect();
+    Topology::from_tables(
+        format!("{}-perm", t.name()),
+        n,
+        gg,
+        host,
+        switches,
+        switch_sockets(t),
+    )
+}
+
+/// Uniformly scales every link bandwidth by `k`; `zero_latency` also drops
+/// every latency to 0, which makes each transfer time *exactly* `bytes /
+/// (k * bw)` — the form the 1/k span-scaling metamorphic property needs to
+/// hold bit-for-bit rather than approximately.
+pub fn scaled_bandwidth(t: &Topology, k: f64, zero_latency: bool) -> Topology {
+    assert!(k.is_finite() && k > 0.0, "bad scale {k}");
+    let n = t.n_gpus();
+    let scale = |s: &LinkSpec| LinkSpec {
+        class: s.class,
+        bandwidth: s.bandwidth * k,
+        latency: if zero_latency { 0.0 } else { s.latency },
+    };
+    let mut gg = Vec::with_capacity(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            gg.push(scale(t.gpu_link(i, j)));
+        }
+    }
+    let host: Vec<LinkSpec> = (0..n).map(|g| scale(t.host_link(g))).collect();
+    let switches: Vec<usize> = (0..n).map(|g| t.switch_of(g)).collect();
+    Topology::from_tables(
+        format!("{}-x{k}", t.name()),
+        n,
+        gg,
+        host,
+        switches,
+        switch_sockets(t),
+    )
+}
+
+/// Nontrivial automorphisms of the DGX-1 hybrid cube mesh (checked by
+/// test): relabeling along one preserves every link class and bandwidth
+/// table entry, so a canonical run on the permuted machine is the *same
+/// machine* — only the data placement moves.
+pub const DGX1_AUTOMORPHISMS: [[usize; 8]; 2] = [
+    // Swap the two 4-GPU halves (socket mirror).
+    [4, 5, 6, 7, 0, 1, 2, 3],
+    // Swap each same-switch GPU pair.
+    [1, 0, 3, 2, 5, 4, 7, 6],
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xk_topo::{dgx1, Device};
+
+    #[test]
+    fn subtopo_keeps_link_specs_and_validates() {
+        let t = dgx1();
+        for n in 1..=8 {
+            let s = subtopo(&t, n);
+            assert_eq!(s.n_gpus(), n);
+            s.validate().unwrap();
+            for a in 0..n {
+                for b in 0..n {
+                    assert_eq!(s.gpu_link(a, b), t.gpu_link(a, b));
+                }
+                assert_eq!(s.host_link(a), t.host_link(a));
+                assert_eq!(s.switch_of(a), t.switch_of(a));
+                assert_eq!(s.socket_of(a), t.socket_of(a));
+            }
+        }
+    }
+
+    #[test]
+    fn dgx1_automorphisms_fix_the_tables() {
+        let t = dgx1();
+        for perm in DGX1_AUTOMORPHISMS {
+            let p = permuted(&t, &perm);
+            p.validate().unwrap();
+            for a in 0..8 {
+                for b in 0..8 {
+                    assert_eq!(p.gpu_link(a, b), t.gpu_link(a, b), "{perm:?} at ({a},{b})");
+                    // Shared-bus structure is preserved: same-switch pairs
+                    // stay paired, same-socket pairs stay co-socketed.
+                    assert_eq!(
+                        p.switch_of(a) == p.switch_of(b),
+                        t.switch_of(a) == t.switch_of(b),
+                        "{perm:?} switch pairing ({a},{b})"
+                    );
+                    assert_eq!(
+                        p.socket_of(a) == p.socket_of(b),
+                        t.socket_of(a) == t.socket_of(b),
+                        "{perm:?} socket pairing ({a},{b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn a_non_automorphism_changes_the_tables() {
+        // Reversal maps the NV2 edge (0,4) onto (7,3), an NV1 edge: the
+        // permuted table must differ — guards the automorphism list against
+        // silently accepting any permutation.
+        let t = dgx1();
+        let p = permuted(&t, &[7, 6, 5, 4, 3, 2, 1, 0]);
+        let mut differs = false;
+        for a in 0..8 {
+            for b in 0..8 {
+                differs |= p.gpu_link(a, b) != t.gpu_link(a, b);
+            }
+        }
+        assert!(differs);
+    }
+
+    #[test]
+    fn scaling_scales_routes_exactly() {
+        let t = dgx1();
+        let s = scaled_bandwidth(&t, 2.0, true);
+        s.validate().unwrap();
+        for a in 0..8 {
+            for b in 0..8 {
+                let r0 = t.route(Device::Gpu(a), Device::Gpu(b));
+                let r1 = s.route(Device::Gpu(a), Device::Gpu(b));
+                assert_eq!(r1.class, r0.class);
+                assert_eq!(r1.bandwidth.to_bits(), (r0.bandwidth * 2.0).to_bits());
+                assert_eq!(r1.latency, 0.0);
+            }
+            let h0 = t.route(Device::Host, Device::Gpu(a));
+            let h1 = s.route(Device::Host, Device::Gpu(a));
+            assert_eq!(h1.bandwidth.to_bits(), (h0.bandwidth * 2.0).to_bits());
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! The tentpole differential matrix: every explored schedule of a
+//! generated DAG must produce the same final tile values as the serial
+//! single-stream reference — heuristics on and off, data starting on the
+//! host and on the devices, 1 to 8 GPUs of the DGX-1.
+//!
+//! Each configuration runs a fixed 1100-seed random exploration; the
+//! acceptance bar is at least 1000 *distinct* schedules per (DAG, config)
+//! with zero oracle failures. A failure prints its seed and choice string,
+//! which `xk_check::replay` reproduces exactly.
+
+use xk_bench::graphgen::{build_random_dag, RandomDagSpec};
+use xk_check::topo_util::subtopo;
+use xk_check::{explore_pct, explore_random, Failure};
+use xk_runtime::{Heuristics, RuntimeConfig};
+
+/// Seeds per configuration — a little headroom above the 1000-distinct
+/// bar. The nightly CI job raises it via `XK_CHECK_SEEDS` for a much
+/// deeper (non-blocking) exploration of the same matrix.
+fn seeds() -> std::ops::Range<u64> {
+    let n = std::env::var("XK_CHECK_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1100);
+    0..n
+}
+
+const DISTINCT_FLOOR: usize = 1000;
+
+fn spec(on_device: Option<usize>) -> RandomDagSpec {
+    RandomDagSpec {
+        flush: true,
+        on_device,
+        ..RandomDagSpec::default()
+    }
+}
+
+fn first_failures(failures: &[Failure]) -> &[Failure] {
+    &failures[..failures.len().min(3)]
+}
+
+/// Runs the 1100-seed exploration for one heuristics preset across
+/// placements (host / on-device) and 1, 2, 4, 8 GPUs of the DGX-1.
+fn sweep(dag_seed: u64, h: Heuristics) {
+    let full = xk_topo::dgx1();
+    let cfg = RuntimeConfig::default().with_heuristics(h);
+    for n_gpus in [1usize, 2, 4, 8] {
+        let topo = subtopo(&full, n_gpus);
+        for on_device in [None, Some(n_gpus)] {
+            let g = build_random_dag(dag_seed, &spec(on_device));
+            let r = explore_random(&g, &topo, &cfg, seeds(), None);
+            let place = on_device.map_or("host", |_| "device");
+            assert!(
+                r.failures.is_empty(),
+                "{n_gpus} GPUs, {place} placement, {h:?}: {} oracle failures, first: {:#?}",
+                r.failures.len(),
+                first_failures(&r.failures),
+            );
+            assert!(
+                r.distinct >= DISTINCT_FLOOR,
+                "{n_gpus} GPUs, {place} placement, {h:?}: only {} distinct schedules in {} runs",
+                r.distinct,
+                r.runs,
+            );
+        }
+    }
+}
+
+#[test]
+fn full_heuristics_matrix() {
+    sweep(1, Heuristics::full());
+}
+
+#[test]
+fn no_optimistic_matrix() {
+    sweep(1, Heuristics::no_optimistic());
+}
+
+#[test]
+fn no_heuristics_matrix() {
+    sweep(1, Heuristics::none());
+}
+
+#[test]
+fn host_staged_only_matrix() {
+    // No device-to-device communication at all: the protocol must still
+    // deliver reference results under every explored schedule.
+    sweep(1, Heuristics::host_only());
+}
+
+#[test]
+fn second_dag_spot_check() {
+    // A structurally different DAG on the most contended configuration.
+    sweep(2, Heuristics::full());
+}
+
+#[test]
+fn pct_style_exploration_passes_the_oracle() {
+    // PCT-style controllers bias hard toward hashed priorities, reaching
+    // systematically-skewed corners uniform sampling underweights.
+    let topo = xk_topo::dgx1();
+    let cfg = RuntimeConfig::default();
+    let g = build_random_dag(1, &spec(Some(8)));
+    for change_every in [1u64, 7, 64] {
+        let r = explore_pct(&g, &topo, &cfg, 0..200, change_every);
+        assert!(
+            r.failures.is_empty(),
+            "PCT change_every={change_every}: {:#?}",
+            first_failures(&r.failures),
+        );
+        assert!(r.distinct > 100, "PCT degenerate: {} distinct", r.distinct);
+    }
+}

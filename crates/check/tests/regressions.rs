@@ -1,0 +1,52 @@
+//! Replays the checked-in regression corpus under
+//! `crates/check/regressions/`: every file is a minimized once-failing
+//! (DAG, choice sequence) pair pinned by the shrinker. The runtime must
+//! pass the differential oracle on each, forever.
+//!
+//! To add a case: take the seed + choice string from a failing
+//! exploration, shrink it with `xk_check::shrink_case`, and
+//! `xk_check::write_regression` it into the corpus directory.
+
+use std::path::PathBuf;
+
+use xk_check::{load_regressions, replay};
+
+fn corpus_dir() -> PathBuf {
+    option_env!("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("crates/check"))
+        .join("regressions")
+}
+
+#[test]
+fn corpus_replays_clean() {
+    let cases = load_regressions(&corpus_dir());
+    assert!(
+        !cases.is_empty(),
+        "no regression corpus found under {} — the checked-in cases are gone",
+        corpus_dir().display(),
+    );
+    for case in &cases {
+        let (graph, topo, cfg) = case.scenario();
+        let (out, verdict) = replay(&graph, &topo, &cfg, &case.choices, None);
+        assert_eq!(
+            verdict,
+            Ok(()),
+            "regression {:?} fails again (was: {})",
+            case.name,
+            case.error,
+        );
+        assert_eq!(out.tasks_run, graph.len(), "regression {:?} did not drain", case.name);
+    }
+}
+
+#[test]
+fn corpus_files_are_canonical() {
+    // Guards hand-edited files: parse -> serialize must be the identity,
+    // so every case stays machine-rewritable by the shrinker.
+    for case in load_regressions(&corpus_dir()) {
+        let text = xk_check::shrink::to_text(&case);
+        let reparsed = xk_check::shrink::from_text(&text).unwrap();
+        assert_eq!(reparsed, case, "case {:?} does not round-trip", case.name);
+    }
+}

@@ -1,0 +1,99 @@
+//! Pinned regression cases promoted from `kernels_vs_reference.proptest-regressions`.
+//!
+//! The proptest corpus file is only consulted when the property tests run
+//! (which requires the `proptest` dev-dependency); these plain tests pin the
+//! shrunken counterexamples permanently, with no framework required, so they
+//! run in every build — including minimal offline ones.
+
+use xk_kernels::aux::max_abs_diff;
+use xk_kernels::reference as r;
+use xk_kernels::{gemm, MatMut, MatRef, Trans};
+
+const TOL: f64 = 1e-10;
+
+/// Deterministic pseudo-random values, identical to the generator in
+/// `kernels_vs_reference.rs` so corpus entries reproduce byte-for-byte.
+fn det_vals(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        })
+        .collect()
+}
+
+fn check_gemm(
+    (m, n, k): (usize, usize, usize),
+    ta: Trans,
+    tb: Trans,
+    alpha: f64,
+    beta: f64,
+    (seed_a, seed_b, seed_c): (u64, u64, u64),
+) {
+    let (am, an) = match ta {
+        Trans::No => (m, k),
+        Trans::Yes => (k, m),
+    };
+    let (bm, bn) = match tb {
+        Trans::No => (k, n),
+        Trans::Yes => (n, k),
+    };
+    let a = det_vals(am * an, seed_a);
+    let b = det_vals(bm * bn, seed_b);
+    let c0 = det_vals(m * n, seed_c);
+    let ar = MatRef::from_slice(&a, am, an, am.max(1));
+    let br = MatRef::from_slice(&b, bm, bn, bm.max(1));
+    let want = r::ref_gemm(ta, tb, alpha, ar, br, beta, MatRef::from_slice(&c0, m, n, m));
+    let mut c = c0.clone();
+    gemm(ta, tb, alpha, ar, br, beta, MatMut::from_slice(&mut c, m, n, m));
+    let d = max_abs_diff(MatRef::from_slice(&c, m, n, m), want.view());
+    assert!(d < TOL, "diff {d}");
+}
+
+/// Corpus entry `8f8993…`: the fully-degenerate GEMM — `k = 0` with
+/// `alpha = beta = 0` must still write (zero) into C, not leave stale
+/// values or read out-of-bounds from the empty A/B panels.
+#[test]
+fn gemm_corpus_k0_alpha0_beta0() {
+    check_gemm((1, 1, 0), Trans::No, Trans::No, 0.0, 0.0, (0, 0, 0));
+}
+
+/// The same degenerate shape across all transpose variants; `k = 0` with a
+/// transpose produces 0-row storage, the other boundary the shrunken case
+/// sits next to.
+#[test]
+fn gemm_corpus_k0_all_transposes() {
+    for ta in [Trans::No, Trans::Yes] {
+        for tb in [Trans::No, Trans::Yes] {
+            check_gemm((1, 1, 0), ta, tb, 0.0, 0.0, (0, 0, 0));
+            check_gemm((3, 2, 0), ta, tb, 0.0, 1.5, (7, 8, 9));
+        }
+    }
+}
+
+/// `beta` scaling with an empty inner dimension: C must become `beta * C`
+/// exactly (no `alpha * A * B` contribution exists).
+#[test]
+fn gemm_corpus_k0_beta_scales_c() {
+    let c0 = det_vals(6, 42);
+    let a: Vec<f64> = Vec::new();
+    let b: Vec<f64> = Vec::new();
+    let ar = MatRef::from_slice(&a, 2, 0, 2);
+    let br = MatRef::from_slice(&b, 0, 3, 1);
+    let mut c = c0.clone();
+    gemm(
+        Trans::No,
+        Trans::No,
+        1.0,
+        ar,
+        br,
+        -0.5,
+        MatMut::from_slice(&mut c, 2, 3, 2),
+    );
+    for (got, orig) in c.iter().zip(&c0) {
+        assert!((got - (-0.5 * orig)).abs() < TOL);
+    }
+}

@@ -53,6 +53,20 @@ pub enum Eviction {
     WriteBack(HandleId),
 }
 
+/// A deliberately injectable coherence bug, used by `xk-check`'s mutation
+/// tests to prove the differential oracle actually catches protocol
+/// violations. Never enabled in normal operation.
+#[doc(hidden)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CoherenceMutation {
+    /// No mutation: the correct protocol.
+    #[default]
+    None,
+    /// `mark_written` forgets to invalidate peer replicas — readers on
+    /// other GPUs can then source a stale version (a classic MSI bug).
+    StaleRead,
+}
+
 /// The software cache over all devices.
 pub struct SoftwareCache {
     devices: Vec<DeviceCache>,
@@ -61,6 +75,8 @@ pub struct SoftwareCache {
     /// Pin counts per (handle, device): pinned replicas are never evicted
     /// (inputs of queued tasks, prefetched but not yet consumed).
     pins: HashMap<(HandleId, usize), u32>,
+    /// Injected protocol bug for mutation testing (default: none).
+    mutation: CoherenceMutation,
 }
 
 impl SoftwareCache {
@@ -77,6 +93,7 @@ impl SoftwareCache {
             coherence: vec![Coherence::default(); data.len()],
             clock: 0,
             pins: HashMap::new(),
+            mutation: CoherenceMutation::default(),
         };
         for (h, info) in data.iter() {
             match info.initial {
@@ -99,6 +116,12 @@ impl SoftwareCache {
     fn tick(&mut self) -> u64 {
         self.clock += 1;
         self.clock
+    }
+
+    /// Enables an injected protocol bug (mutation testing only).
+    #[doc(hidden)]
+    pub fn inject_mutation(&mut self, m: CoherenceMutation) {
+        self.mutation = m;
     }
 
     /// Is the host copy of `h` valid?
@@ -182,12 +205,14 @@ impl SoftwareCache {
     /// the only (dirty) copy.
     pub fn mark_written(&mut self, h: HandleId, g: usize, bytes: u64, data: &DataRegistry) {
         let t = self.tick();
-        for (gi, dev) in self.devices.iter_mut().enumerate() {
-            if gi != g {
-                if dev.replicas.remove(&h).is_some() {
-                    dev.used_bytes -= data.info(h).bytes;
+        if self.mutation != CoherenceMutation::StaleRead {
+            for (gi, dev) in self.devices.iter_mut().enumerate() {
+                if gi != g {
+                    if dev.replicas.remove(&h).is_some() {
+                        dev.used_bytes -= data.info(h).bytes;
+                    }
+                    dev.last_use.remove(&h);
                 }
-                dev.last_use.remove(&h);
             }
         }
         let dev = &mut self.devices[g];
@@ -257,6 +282,23 @@ impl SoftwareCache {
         keep: &[HandleId],
         data: &DataRegistry,
     ) -> Vec<Eviction> {
+        self.make_room_with(g, bytes, keep, data, None)
+    }
+
+    /// Like [`SoftwareCache::make_room`], but an optional `pick` closure
+    /// chooses which of the remaining eviction candidates (canonical
+    /// clean-first / LRU order) goes next — the schedule-space checker's
+    /// eviction choice point. `pick(n)` is consulted only while two or more
+    /// candidates remain; `None` (and out-of-range picks clamped to the
+    /// canonical head) reproduce `make_room` exactly.
+    pub fn make_room_with(
+        &mut self,
+        g: usize,
+        bytes: u64,
+        keep: &[HandleId],
+        data: &DataRegistry,
+        mut pick: Option<&mut dyn FnMut(usize) -> usize>,
+    ) -> Vec<Eviction> {
         let mut evictions = Vec::new();
         if self.devices[g].used_bytes + bytes <= self.devices[g].capacity {
             return evictions;
@@ -274,10 +316,14 @@ impl SoftwareCache {
             })
             .collect();
         candidates.sort_unstable();
-        for (dirty, _, h) in candidates {
-            if self.devices[g].used_bytes + bytes <= self.devices[g].capacity {
-                break;
-            }
+        while self.devices[g].used_bytes + bytes > self.devices[g].capacity
+            && !candidates.is_empty()
+        {
+            let idx = match pick.as_mut() {
+                Some(p) if candidates.len() >= 2 => p(candidates.len()).min(candidates.len() - 1),
+                _ => 0,
+            };
+            let (dirty, _, h) = candidates.remove(idx);
             let sz = data.info(h).bytes;
             self.devices[g].replicas.remove(&h);
             self.devices[g].last_use.remove(&h);
@@ -441,6 +487,38 @@ mod tests {
         // this as capacity pressure (over-subscription is reported by
         // check_invariants in tests, real runs size tiles to fit).
         assert!(ev.is_empty());
+    }
+
+    #[test]
+    fn make_room_with_chooser_reorders_evictions() {
+        let reg = registry(3, 400);
+        let mut c = SoftwareCache::new(1, 1200, &reg);
+        let (h0, h1, h2) = (HandleId(0), HandleId(1), HandleId(2));
+        c.begin_transfer(h0, 0, 400, SimTime::ZERO); // clean, oldest
+        c.begin_transfer(h1, 0, 400, SimTime::ZERO); // clean, newer
+        c.begin_transfer(h2, 0, 400, SimTime::ZERO);
+        // Canonical would evict h0 first; the chooser picks the LRU tail.
+        let mut last = |n: usize| n - 1;
+        let ev = c.make_room_with(0, 400, &[], &reg, Some(&mut last));
+        assert_eq!(ev, vec![Eviction::Drop(h2)]);
+        assert!(c.replica(h0, 0).is_some());
+        c.check_invariants(&reg).unwrap();
+        // And `None` delegates to the canonical policy (clean LRU first).
+        let ev2 = c.make_room_with(0, 800, &[], &reg, None);
+        assert_eq!(ev2, vec![Eviction::Drop(h0)]);
+    }
+
+    #[test]
+    fn stale_read_mutation_keeps_peer_replicas() {
+        let reg = registry(1, 100);
+        let mut c = SoftwareCache::new(2, 1000, &reg);
+        let h = HandleId(0);
+        c.inject_mutation(CoherenceMutation::StaleRead);
+        c.begin_transfer(h, 0, 100, SimTime::ZERO);
+        c.mark_written(h, 1, 100, &reg);
+        // The bug: gpu0's now-stale replica survives the write.
+        assert_eq!(c.valid_gpus(h, SimTime::new(1.0)), vec![0, 1]);
+        assert_eq!(c.dirty_on(h), Some(1));
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Schedule-space choice points: the hook a checker drives to explore
+//! interleavings.
+//!
+//! Both executors are deterministic by default — every tie is broken by a
+//! fixed canonical rule. That determinism is great for reproducibility but
+//! hides the schedules a real machine would produce. A
+//! [`ScheduleController`] makes the nondeterminism explicit: the executors
+//! consult it at every point where more than one continuation is legal
+//! (which same-time event fires, which queued task launches, which victim
+//! an idle GPU steals from, which equally-ranked source supplies a tile,
+//! which replica is evicted), and `xk-check` supplies controllers that
+//! enumerate, randomize or replay those decisions. A run under a
+//! controller is exactly as deterministic as the controller itself, so one
+//! failing interleaving is a replayable seed plus choice string.
+//!
+//! The controller doubles as a *semantic witness*: the executors report
+//! every data movement and kernel execution (with simulated start/end
+//! times) through the `on_*` observer methods, which default to no-ops.
+//! `xk-check` uses them to replay the run's data flow against a serial
+//! reference and catch stale reads, lost forwards and use-before-arrival —
+//! without the executors knowing anything about the oracle.
+
+/// The kind of nondeterministic decision being resolved.
+///
+/// Candidates are always presented in a canonical deterministic order
+/// (documented per variant), so `choose(_, _) == 0` reproduces the
+/// executor's default behaviour exactly.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ChoicePoint {
+    /// Which of several same-timestamp DES events fires first.
+    /// Candidates in FIFO (scheduling) order.
+    EventTieBreak,
+    /// Which queued ready task a GPU launches next. Candidates in queue
+    /// (submission) order.
+    ReadyTaskPick,
+    /// Which victim an idle GPU steals from. Candidates are the GPUs with
+    /// non-empty queues, the thief excluded, sorted longest queue first
+    /// (ascending index on ties) so candidate 0 is the canonical victim.
+    StealVictim,
+    /// Which equally-ranked source GPU supplies a tile
+    /// ([`crate::heuristics::select_source`] tie). Candidates ascending by
+    /// GPU index.
+    SourceTieBreak,
+    /// Which evictable replica leaves a full cache first. Candidates in the
+    /// canonical eviction order (clean before dirty, LRU within a class).
+    EvictionPick,
+    /// Which virtual worker of the controlled parallel executor takes the
+    /// next step. Candidates are the runnable workers, ascending index.
+    WorkerStep,
+    /// Which newly-ready successor a finishing worker runs inline (the
+    /// rest become stealable). Candidate 0 is the canonical inline pick
+    /// (the *last* newly-ready successor, matching [`crate::run_parallel`]);
+    /// the rest follow in successor (CSR) order.
+    InlineSuccessor,
+}
+
+/// Resolves nondeterministic choice points and observes semantic effects.
+///
+/// `choose` is only consulted when two or more candidates exist; returning
+/// an out-of-range index is clamped to the last candidate by every caller.
+/// The `on_*` observers fire as the corresponding operation is *reserved*
+/// (simulated start/end times are final at that point) and default to
+/// no-ops, so a pure exploration controller only implements `choose`.
+pub trait ScheduleController {
+    /// Picks one of `n >= 2` canonically-ordered candidates at `point`.
+    fn choose(&mut self, point: ChoicePoint, n: usize) -> usize;
+
+    /// A host→device transfer of handle `h` into GPU `dst` over
+    /// `[start, end]` seconds: samples host memory at `start`, makes the
+    /// replica valid at `end`.
+    fn on_h2d(&mut self, h: usize, dst: usize, start: f64, end: f64) {
+        let _ = (h, dst, start, end);
+    }
+
+    /// A device→device transfer of `h` from `src` to `dst` over
+    /// `[start, end]`: samples the source replica at `start`, makes the
+    /// destination replica valid at `end`.
+    fn on_p2p(&mut self, h: usize, src: usize, dst: usize, start: f64, end: f64) {
+        let _ = (h, src, dst, start, end);
+    }
+
+    /// A device→host write-back of `h` from `src` over `[start, end]`:
+    /// samples the device replica at `start`, makes host memory valid at
+    /// `end`.
+    fn on_d2h(&mut self, h: usize, src: usize, start: f64, end: f64) {
+        let _ = (h, src, start, end);
+    }
+
+    /// Kernel of task `t` on GPU `gpu` over `[start, end]`: samples its
+    /// read replicas at `start`, commits its written replicas at `end`.
+    fn on_kernel(&mut self, t: usize, gpu: usize, start: f64, end: f64) {
+        let _ = (t, gpu, start, end);
+    }
+}
+
+/// The canonical controller: always picks candidate 0 and observes
+/// nothing — byte-identical to running without a controller. Useful as a
+/// replay fallback and in tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CanonicalController;
+
+impl ScheduleController for CanonicalController {
+    fn choose(&mut self, _point: ChoicePoint, _n: usize) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_controller_picks_first() {
+        let mut c = CanonicalController;
+        assert_eq!(c.choose(ChoicePoint::EventTieBreak, 5), 0);
+        // Observer defaults are callable no-ops.
+        c.on_h2d(0, 1, 0.0, 1.0);
+        c.on_p2p(0, 1, 2, 0.0, 1.0);
+        c.on_d2h(0, 1, 0.0, 1.0);
+        c.on_kernel(0, 1, 0.0, 1.0);
+    }
+}

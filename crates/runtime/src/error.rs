@@ -18,6 +18,15 @@ pub enum Error {
     /// The library's allocator fails at this size (BLASX above N = 45000,
     /// §IV-D / Fig. 5 caption).
     OutOfMemory,
+    /// A modelled interconnect link went down while a transfer was in
+    /// flight on it; every waiter on that transfer (including optimistic
+    /// D2D forwards sourced from it) surfaces this error.
+    LinkDown {
+        /// Source GPU of the failed directed link.
+        src: usize,
+        /// Destination GPU of the failed directed link.
+        dst: usize,
+    },
     /// A harness I/O operation failed (writing a CSV, a trace export...).
     Io {
         /// What was being done, usually the file path involved.
@@ -44,7 +53,10 @@ impl Error {
         match self {
             Error::Unsupported => 0,
             Error::OutOfMemory => 1,
-            Error::Io { .. } => 2,
+            // A hardware fault explains more than a capacity limit but less
+            // than a broken harness.
+            Error::LinkDown { .. } => 2,
+            Error::Io { .. } => 3,
         }
     }
 
@@ -66,6 +78,10 @@ impl PartialEq for Error {
         match (self, other) {
             (Error::Unsupported, Error::Unsupported) => true,
             (Error::OutOfMemory, Error::OutOfMemory) => true,
+            (
+                Error::LinkDown { src: sa, dst: da },
+                Error::LinkDown { src: sb, dst: db },
+            ) => sa == sb && da == db,
             // io::Error is not PartialEq; kind + context identify the
             // failure for test assertions and cache-consistency checks.
             (
@@ -84,6 +100,9 @@ impl std::fmt::Display for Error {
         match self {
             Error::Unsupported => write!(f, "routine not implemented by this library"),
             Error::OutOfMemory => write!(f, "memory allocation error"),
+            Error::LinkDown { src, dst } => {
+                write!(f, "link gpu{src} -> gpu{dst} failed during transfer")
+            }
             Error::Io { context, source } => write!(f, "I/O error ({context}): {source}"),
         }
     }
@@ -130,6 +149,59 @@ mod tests {
             Error::OutOfMemory.most_informative(io_err.clone()),
             io_err
         );
+    }
+
+    #[test]
+    fn most_informative_folding_order() {
+        // The sweep folds errors left-to-right over tile candidates; the
+        // result must be the highest-ranked error, and among equal ranks
+        // the one seen *last*. Exercise whole sequences, not just pairs.
+        let first = Error::io("first.csv", io::Error::other("a"));
+        let last = Error::io("last.csv", io::Error::other("b"));
+        let seq = vec![
+            Error::Unsupported,
+            first.clone(),
+            Error::OutOfMemory,
+            Error::LinkDown { src: 0, dst: 4 },
+            last.clone(),
+            Error::Unsupported,
+        ];
+        let folded = seq
+            .into_iter()
+            .reduce(|acc, e| acc.most_informative(e))
+            .unwrap();
+        // Io outranks everything; `last` beats `first` on the rank tie.
+        assert_eq!(folded, last);
+        assert_ne!(folded, first);
+
+        // Fold order without any Io: LinkDown beats OOM beats Unsupported.
+        let seq = vec![
+            Error::OutOfMemory,
+            Error::LinkDown { src: 1, dst: 2 },
+            Error::Unsupported,
+            Error::OutOfMemory,
+        ];
+        let folded = seq
+            .into_iter()
+            .reduce(|acc, e| acc.most_informative(e))
+            .unwrap();
+        assert_eq!(folded, Error::LinkDown { src: 1, dst: 2 });
+
+        // Equal-rank LinkDowns: the newer one wins, like every rank tie.
+        let folded = Error::LinkDown { src: 0, dst: 1 }
+            .most_informative(Error::LinkDown { src: 2, dst: 3 });
+        assert_eq!(folded, Error::LinkDown { src: 2, dst: 3 });
+    }
+
+    #[test]
+    fn link_down_display_and_equality() {
+        let e = Error::LinkDown { src: 0, dst: 4 };
+        assert_eq!(e.to_string(), "link gpu0 -> gpu4 failed during transfer");
+        assert_eq!(e, Error::LinkDown { src: 0, dst: 4 });
+        assert_ne!(e, Error::LinkDown { src: 4, dst: 0 });
+        assert_ne!(e, Error::Unsupported);
+        use std::error::Error as _;
+        assert!(e.source().is_none());
     }
 
     #[test]

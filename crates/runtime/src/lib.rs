@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod choice;
 pub mod config;
 pub mod data;
 pub mod error;
@@ -57,6 +58,7 @@ pub mod sim_exec;
 pub mod task;
 
 pub use cache::{Eviction, ReplicaState, SoftwareCache};
+pub use choice::{CanonicalController, ChoicePoint, ScheduleController};
 pub use config::{Heuristics, RuntimeConfig, SchedulerKind};
 pub use data::{DataInfo, DataRegistry, HandleId};
 pub use error::Error;
@@ -66,5 +68,6 @@ pub use par_exec::{run_parallel, ParOutcome};
 pub use session::{Run, SimSession};
 #[allow(deprecated)]
 pub use sim_exec::{measure_bandwidth_matrix, simulate};
-pub use sim_exec::{SimExecutor, SimOutcome};
+pub use par_exec::run_controlled;
+pub use sim_exec::{LinkFault, SimExecutor, SimOutcome};
 pub use task::{Access, Task, TaskAccess, TaskAccesses, TaskId, TaskKind, TaskLabel};

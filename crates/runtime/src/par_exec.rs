@@ -22,12 +22,14 @@
 //!   bump the epoch and wake sleepers whenever they make work stealable.
 
 use std::cell::UnsafeCell;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 
+use crate::choice::{ChoicePoint, ScheduleController};
 use crate::graph::TaskGraph;
 use crate::task::{TaskBody, TaskId};
 
@@ -281,6 +283,130 @@ pub fn run_parallel(graph: &mut TaskGraph, n_threads: usize) -> ParOutcome {
     }
 }
 
+/// Executes every task of `graph` on `n_workers` *virtual* workers under a
+/// [`ScheduleController`]: a single-threaded, fully deterministic
+/// interpretation of the same work-stealing discipline as
+/// [`run_parallel`] — per-worker FIFO deques, a global injector that
+/// outranks peer steals, and inline execution of the last newly-ready
+/// successor. The controller is consulted at every point where the real
+/// pool's outcome depends on thread timing: which runnable worker steps
+/// ([`ChoicePoint::WorkerStep`]), which source an empty worker steals from
+/// ([`ChoicePoint::StealVictim`]), and which newly-ready successor runs
+/// inline ([`ChoicePoint::InlineSuccessor`]). Task bodies really execute,
+/// so `xk-check` can drive the executor's dependency protocol through
+/// adversarial interleavings and compare the numerics against a serial
+/// run — with any failure replayable from the controller's choices.
+///
+/// Panics (rather than hangs) if the dependency protocol deadlocks.
+pub fn run_controlled(
+    graph: &mut TaskGraph,
+    n_workers: usize,
+    ctrl: &mut dyn ScheduleController,
+) -> ParOutcome {
+    let n = graph.len();
+    if n == 0 {
+        return ParOutcome::default();
+    }
+    let workers_n = n_workers.max(1);
+    let mut bodies: Vec<Option<TaskBody>> = (0..n)
+        .map(|i| graph.task_mut(TaskId(i)).body.take())
+        .collect();
+    graph.finalize();
+    let mut pending: Vec<usize> = graph.pred_counts().collect();
+    let mut injector: VecDeque<TaskId> = graph.roots().into_iter().collect();
+    let mut deques: Vec<VecDeque<TaskId>> = vec![VecDeque::new(); workers_n];
+    let mut inline: Vec<Option<TaskId>> = vec![None; workers_n];
+    let mut runnable: Vec<usize> = Vec::with_capacity(workers_n);
+    let mut done = 0usize;
+    while done < n {
+        // A worker is runnable when it can acquire a task this step: a
+        // pending inline task, local work, or something to steal.
+        runnable.clear();
+        for w in 0..workers_n {
+            let external = !injector.is_empty()
+                || deques.iter().enumerate().any(|(v, d)| v != w && !d.is_empty());
+            if inline[w].is_some() || !deques[w].is_empty() || external {
+                runnable.push(w);
+            }
+        }
+        assert!(
+            !runnable.is_empty(),
+            "controlled executor deadlocked: {done}/{n} tasks done"
+        );
+        let w = match runnable.len() {
+            1 => runnable[0],
+            m => runnable[ctrl.choose(ChoicePoint::WorkerStep, m).min(m - 1)],
+        };
+        // Acquire: inline slot, then local deque, then an external steal
+        // (injector outranks peers, peers ascending — the order the real
+        // pool's steal sweep visits them).
+        let t = if let Some(t) = inline[w].take() {
+            t
+        } else if let Some(t) = deques[w].pop_front() {
+            t
+        } else {
+            let mut sources: Vec<Option<usize>> = Vec::new(); // None = injector
+            if !injector.is_empty() {
+                sources.push(None);
+            }
+            for v in 0..workers_n {
+                if v != w && !deques[v].is_empty() {
+                    sources.push(Some(v));
+                }
+            }
+            let pick = match sources.len() {
+                0 => unreachable!("runnable worker has a steal source"),
+                1 => 0,
+                m => ctrl.choose(ChoicePoint::StealVictim, m).min(m - 1),
+            };
+            match sources[pick] {
+                None => injector.pop_front().expect("injector non-empty"),
+                Some(v) => deques[v].pop_front().expect("victim non-empty"),
+            }
+        };
+        if let Some(body) = bodies[t.0].take() {
+            body();
+        }
+        // Release newly-ready successors: one runs inline on this worker,
+        // the rest go to its deque (stealable by the other workers).
+        let mut ready: Vec<TaskId> = Vec::new();
+        for &s in graph.successors(t) {
+            pending[s.0] -= 1;
+            if pending[s.0] == 0 {
+                ready.push(s);
+            }
+        }
+        if !ready.is_empty() {
+            let m = ready.len();
+            // Candidate 0 = the canonical inline pick (the last
+            // newly-ready, what run_parallel keeps); 1..m = the rest in
+            // CSR order.
+            let idx = match m {
+                1 => 0,
+                _ => {
+                    let k = ctrl.choose(ChoicePoint::InlineSuccessor, m).min(m - 1);
+                    if k == 0 {
+                        m - 1
+                    } else {
+                        k - 1
+                    }
+                }
+            };
+            let chosen = ready.remove(idx);
+            for s in ready {
+                deques[w].push_back(s);
+            }
+            inline[w] = Some(chosen);
+        }
+        done += 1;
+    }
+    ParOutcome {
+        tasks_run: done,
+        threads: workers_n,
+        parks: 0,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -396,6 +522,118 @@ mod tests {
         g.add_flush(&[h], "flush");
         let out = run_parallel(&mut g, 2);
         assert_eq!(out.tasks_run, 2);
+    }
+
+    /// A deterministic pseudo-random controller for exercising
+    /// `run_controlled` without xk-check.
+    struct Scramble(u64);
+
+    impl crate::choice::ScheduleController for Scramble {
+        fn choose(&mut self, _point: ChoicePoint, n: usize) -> usize {
+            // SplitMix64 step.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z ^ (z >> 31)) as usize % n
+        }
+    }
+
+    #[test]
+    fn controlled_chain_respects_dependencies() {
+        for seed in 0..16u64 {
+            let mut g = TaskGraph::new();
+            let h = g.add_host_tile(64, false, "x");
+            let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            for i in 0..10 {
+                let log = log.clone();
+                g.add_task_with_body(
+                    op(),
+                    vec![TaskAccess { handle: h, access: Access::ReadWrite }],
+                    format!("k{i}"),
+                    Box::new(move || log.lock().push(i)),
+                );
+            }
+            let mut ctrl = Scramble(seed);
+            let out = run_controlled(&mut g, 4, &mut ctrl);
+            assert_eq!(out.tasks_run, 10);
+            // A chain admits exactly one legal order, whatever the schedule.
+            assert_eq!(*log.lock(), (0..10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn controlled_diamond_order_holds_under_all_seeds() {
+        for seed in 0..32u64 {
+            let mut g = TaskGraph::new();
+            let h = g.add_host_tile(64, false, "x");
+            let state = Arc::new(AtomicU64::new(0));
+            let mk = |inc: u64, state: Arc<AtomicU64>| -> crate::task::TaskBody {
+                Box::new(move || {
+                    state.fetch_add(inc, Ordering::SeqCst);
+                })
+            };
+            g.add_task_with_body(
+                op(),
+                vec![TaskAccess { handle: h, access: Access::Write }],
+                "w",
+                mk(1, state.clone()),
+            );
+            for _ in 0..2 {
+                g.add_task_with_body(
+                    op(),
+                    vec![TaskAccess { handle: h, access: Access::Read }],
+                    "r",
+                    mk(10, state.clone()),
+                );
+            }
+            let check = state.clone();
+            g.add_task_with_body(
+                op(),
+                vec![TaskAccess { handle: h, access: Access::Write }],
+                "w2",
+                Box::new(move || {
+                    assert_eq!(check.load(Ordering::SeqCst), 21, "w2 ran too early");
+                }),
+            );
+            let mut ctrl = Scramble(seed);
+            run_controlled(&mut g, 3, &mut ctrl);
+        }
+    }
+
+    #[test]
+    fn controlled_independent_tasks_all_run_once() {
+        let mut g = TaskGraph::new();
+        let counter = Arc::new(AtomicU64::new(0));
+        for i in 0..50 {
+            let h = g.add_host_tile(64, false, format!("x{i}"));
+            let c = counter.clone();
+            g.add_task_with_body(
+                op(),
+                vec![TaskAccess { handle: h, access: Access::Write }],
+                format!("t{i}"),
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }),
+            );
+        }
+        let mut ctrl = Scramble(7);
+        let out = run_controlled(&mut g, 8, &mut ctrl);
+        assert_eq!(out.tasks_run, 50);
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn controlled_empty_graph_and_zero_workers() {
+        let mut g = TaskGraph::new();
+        let mut ctrl = crate::choice::CanonicalController;
+        assert_eq!(run_controlled(&mut g, 0, &mut ctrl).tasks_run, 0);
+        let h = g.add_host_tile(64, false, "x");
+        g.add_task(op(), vec![TaskAccess { handle: h, access: Access::Write }], "t");
+        // 0 workers clamps to 1.
+        let out = run_controlled(&mut g, 0, &mut ctrl);
+        assert_eq!(out.tasks_run, 1);
+        assert_eq!(out.threads, 1);
     }
 
     #[test]

@@ -32,7 +32,8 @@ use xk_topo::Topology;
 use crate::config::RuntimeConfig;
 use crate::graph::TaskGraph;
 use crate::obs::{ObsLevel, ObsReport};
-use crate::sim_exec::{bandwidth_matrix_of, SimExecutor, SimOutcome};
+use crate::choice::ScheduleController;
+use crate::sim_exec::{bandwidth_matrix_of, LinkFault, SimExecutor, SimOutcome};
 use xk_trace::Trace;
 
 /// A configured simulation session on one topology: the single entry point
@@ -46,6 +47,7 @@ pub struct SimSession<'t> {
     topo: &'t Topology,
     cfg: RuntimeConfig,
     obs: ObsLevel,
+    fault: Option<LinkFault>,
 }
 
 impl<'t> SimSession<'t> {
@@ -56,6 +58,7 @@ impl<'t> SimSession<'t> {
             topo,
             cfg: RuntimeConfig::xkblas(),
             obs: ObsLevel::default(),
+            fault: None,
         }
     }
 
@@ -83,13 +86,34 @@ impl<'t> SimSession<'t> {
         self.obs
     }
 
+    /// Injects a [`LinkFault`] into subsequent runs: the modelled link dies
+    /// mid-simulation, and affected tasks complete as failed
+    /// ([`SimOutcome::failures`]) instead of deadlocking their waiters.
+    pub fn link_fault(mut self, fault: LinkFault) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
     /// Simulates `graph` to completion.
     pub fn run(&self, graph: &TaskGraph) -> Run {
-        Run {
-            outcome: SimExecutor::new(graph, self.topo, &self.cfg)
-                .observe(self.obs)
-                .run(),
+        let mut exec = SimExecutor::new(graph, self.topo, &self.cfg).observe(self.obs);
+        if let Some(fault) = self.fault {
+            exec = exec.with_fault(fault);
         }
+        Run { outcome: exec.run() }
+    }
+
+    /// Simulates `graph` under a [`ScheduleController`]: every
+    /// nondeterministic tie is resolved by `ctrl`, and data movements are
+    /// reported to its observers (see [`SimExecutor::control`]).
+    pub fn run_controlled(&self, graph: &TaskGraph, ctrl: &mut dyn ScheduleController) -> Run {
+        let mut exec = SimExecutor::new(graph, self.topo, &self.cfg)
+            .observe(self.obs)
+            .control(ctrl);
+        if let Some(fault) = self.fault {
+            exec = exec.with_fault(fault);
+        }
+        Run { outcome: exec.run() }
     }
 
     /// Point-to-point bandwidth matrix of the session's topology, GB/s,

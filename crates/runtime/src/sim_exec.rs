@@ -14,15 +14,17 @@
 //! The output is a makespan plus a full [`xk_trace::Trace`] from which the
 //! paper's figures are regenerated.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use xk_sim::{Clock, Duration, EngineId, EnginePool, SimTime};
 use xk_topo::{BusSegment, Device, Topology};
 use xk_trace::{FlowId, Label, Place, Span, SpanKind, Trace};
 
 use crate::cache::{Eviction, SoftwareCache};
+use crate::choice::{ChoicePoint, ScheduleController};
 use crate::config::RuntimeConfig;
 use crate::data::HandleId;
+use crate::error::Error;
 use crate::graph::TaskGraph;
 use crate::heuristics::{select_source, SourceDecision};
 use crate::obs::{GpuObs, ObsLevel, ObsRecorder, ObsReport};
@@ -54,6 +56,12 @@ pub struct SimOutcome {
     /// Link occupancy / contention / critical-path report; `None` when the
     /// run was recorded at [`ObsLevel::Off`].
     pub obs: Option<ObsReport>,
+    /// Tasks that completed *as failed* (task id, error), in task order.
+    /// Empty unless a fault was injected ([`SimExecutor::with_fault`]): a
+    /// waiter on a transfer that died mid-flight surfaces the transfer's
+    /// error here instead of hanging, and the failure cascades to
+    /// dependents.
+    pub failures: Vec<(usize, Error)>,
 }
 
 impl SimOutcome {
@@ -65,6 +73,21 @@ impl SimOutcome {
             flops / self.makespan / 1e12
         }
     }
+}
+
+/// A modelled hardware fault: the directed device-to-device link
+/// `src -> dst` dies at `at` seconds. Any D2D transfer on that link still
+/// in flight at (or reserved after) that instant fails; waiters surface
+/// [`Error::LinkDown`] and the failure propagates along forwards and task
+/// dependencies instead of deadlocking the run.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkFault {
+    /// Source GPU of the failing directed link.
+    pub src: usize,
+    /// Destination GPU of the failing directed link.
+    pub dst: usize,
+    /// Simulated time (seconds) at which the link goes down.
+    pub at: f64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -142,6 +165,16 @@ pub struct SimExecutor<'a> {
     flow_root: Vec<FlowId>,
     /// Occupancy/contention/critical-path recorder.
     obs: ObsRecorder,
+    /// Schedule-space controller: resolves nondeterministic choice points
+    /// and observes semantic effects. `None` (the default) keeps every
+    /// canonical tie-break, byte-identical to the pre-hook executor.
+    ctrl: Option<&'a mut dyn ScheduleController>,
+    /// Injected link fault, if any.
+    fault: Option<LinkFault>,
+    /// Replicas poisoned by a failed transfer: `(handle, gpu) -> error`.
+    failed_replicas: HashMap<(usize, usize), Error>,
+    /// Per-task failure state (inherited along dependencies).
+    task_failed: Vec<Option<Error>>,
     bytes_h2d: u64,
     bytes_d2h: u64,
     bytes_p2p: u64,
@@ -244,6 +277,10 @@ impl<'a> SimExecutor<'a> {
             scratch_engines: Vec::new(),
             flow_root: vec![FlowId::NONE; graph.data().len()],
             obs,
+            ctrl: None,
+            fault: None,
+            failed_replicas: HashMap::new(),
+            task_failed: vec![None; graph.len()],
             bytes_h2d: 0,
             bytes_d2h: 0,
             bytes_p2p: 0,
@@ -266,12 +303,42 @@ impl<'a> SimExecutor<'a> {
         self
     }
 
+    /// Attaches a [`ScheduleController`]: the executor consults it at every
+    /// nondeterministic choice point and reports every transfer/kernel to
+    /// its observers. A controller that always picks candidate 0 reproduces
+    /// the canonical (no-controller) run bit for bit.
+    pub fn control(mut self, ctrl: &'a mut dyn ScheduleController) -> Self {
+        self.ctrl = Some(ctrl);
+        self
+    }
+
+    /// Injects a link fault for this run (see [`LinkFault`]).
+    pub fn with_fault(mut self, fault: LinkFault) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Injects a cache-coherence bug for mutation testing (`xk-check`
+    /// proves its oracles catch the resulting stale reads).
+    #[doc(hidden)]
+    pub fn inject_cache_mutation(mut self, m: crate::cache::CoherenceMutation) -> Self {
+        self.cache.inject_mutation(m);
+        self
+    }
+
     /// Runs the graph to completion and returns the outcome.
     pub fn run(mut self) -> SimOutcome {
         for t in self.graph.roots() {
             self.on_ready(t);
         }
-        while let Some((_, ev)) = self.clock.next() {
+        loop {
+            let next = match self.ctrl.as_mut() {
+                Some(c) => self
+                    .clock
+                    .next_with(&mut |n| c.choose(ChoicePoint::EventTieBreak, n)),
+                None => self.clock.next(),
+            };
+            let Some((_, ev)) = next else { break };
             match ev {
                 Ev::TryLaunch(g) => self.try_launch(g),
                 Ev::TaskDone(t) => self.on_done(t),
@@ -309,6 +376,12 @@ impl<'a> SimExecutor<'a> {
         } else {
             None
         };
+        let failures: Vec<(usize, Error)> = self
+            .task_failed
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|e| (i, e.clone())))
+            .collect();
         SimOutcome {
             makespan,
             trace: self.trace,
@@ -318,6 +391,7 @@ impl<'a> SimExecutor<'a> {
             tasks_run: self.tasks_done,
             steals: self.steals,
             obs,
+            failures,
         }
     }
 
@@ -409,17 +483,12 @@ impl<'a> SimExecutor<'a> {
             if self.gpus[g].in_flight >= self.cfg.window {
                 return;
             }
-            let next = if let Some(t) = self.gpus[g].queue.pop_front() {
+            let next = if let Some(t) = self.pop_ready(g) {
                 t
             } else if self.scheduler.allows_stealing() && self.gpus[g].in_flight == 0 {
                 // Steal only when truly idle, one task at a time — XKaapi
                 // steals on idleness, it does not hoard.
-                let mut lens = std::mem::take(&mut self.scratch_lens);
-                lens.clear();
-                lens.extend(self.gpus.iter().map(|s| s.queue.len()));
-                let victim = pick_victim(&lens, g);
-                self.scratch_lens = lens;
-                match victim {
+                match self.pick_steal_victim(g) {
                     Some(v) => {
                         // Steal the most recently pushed task (cold end).
                         let t = self.gpus[v].queue.pop_back().expect("victim non-empty");
@@ -434,6 +503,48 @@ impl<'a> SimExecutor<'a> {
             };
             self.launch(next, g);
         }
+    }
+
+    /// Takes the next ready task from `g`'s queue: the front canonically, a
+    /// controller-chosen entry under exploration.
+    fn pop_ready(&mut self, g: usize) -> Option<TaskId> {
+        let qlen = self.gpus[g].queue.len();
+        if qlen == 0 {
+            return None;
+        }
+        let idx = match self.ctrl.as_mut() {
+            Some(c) if qlen >= 2 => c.choose(ChoicePoint::ReadyTaskPick, qlen).min(qlen - 1),
+            _ => 0,
+        };
+        self.gpus[g].queue.remove(idx)
+    }
+
+    /// Picks a steal victim for idle GPU `g`: canonically the longest
+    /// non-empty peer queue (lowest index on ties); under a controller, a
+    /// choice among all non-empty peers presented in that canonical order
+    /// (so candidate 0 is the canonical victim).
+    fn pick_steal_victim(&mut self, g: usize) -> Option<usize> {
+        let mut lens = std::mem::take(&mut self.scratch_lens);
+        lens.clear();
+        lens.extend(self.gpus.iter().map(|s| s.queue.len()));
+        let victim = if self.ctrl.is_some() {
+            let mut candidates: Vec<usize> = (0..lens.len())
+                .filter(|&v| v != g && lens[v] > 0)
+                .collect();
+            candidates.sort_by_key(|&v| (std::cmp::Reverse(lens[v]), v));
+            match candidates.len() {
+                0 => None,
+                1 => Some(candidates[0]),
+                n => {
+                    let c = self.ctrl.as_mut().expect("controller present");
+                    Some(candidates[c.choose(ChoicePoint::StealVictim, n).min(n - 1)])
+                }
+            }
+        } else {
+            pick_victim(&lens, g)
+        };
+        self.scratch_lens = lens;
+        victim
     }
 
     /// Acquires all inputs of `t` on GPU `g` (capacity, transfers, output
@@ -468,7 +579,14 @@ impl<'a> SimExecutor<'a> {
             .map(|&h| graph.data().info(h).bytes)
             .sum();
         if needed > 0 {
-            let evictions = self.cache.make_room(g, needed, &pins, graph.data());
+            let evictions = match self.ctrl.as_mut() {
+                Some(c) => {
+                    let mut pick = |n: usize| c.choose(ChoicePoint::EvictionPick, n);
+                    self.cache
+                        .make_room_with(g, needed, &pins, graph.data(), Some(&mut pick))
+                }
+                None => self.cache.make_room(g, needed, &pins, graph.data()),
+            };
             for ev in evictions {
                 if let Eviction::WriteBack(h) = ev {
                     self.issue_d2h(h, g, now);
@@ -538,6 +656,30 @@ impl<'a> SimExecutor<'a> {
             }
         };
 
+        // Complete-as-failed: a task whose dependency failed, or whose
+        // input replica was poisoned by a dead link, skips its kernel but
+        // still schedules TaskDone (with the usual in-flight bookkeeping)
+        // so the run drains instead of deadlocking a waiter on a transfer
+        // that will never deliver.
+        let mut failure = self.task_failed[t.0].clone();
+        if failure.is_none() {
+            for h in task.read_handles() {
+                if let Some(e) = self.failed_replicas.get(&(h.0, g)) {
+                    failure = Some(e.clone());
+                    break;
+                }
+            }
+        }
+        if let Some(e) = failure {
+            self.task_failed[t.0] = Some(e);
+            self.gpus[g].in_flight += 1;
+            self.gpus[g].max_in_flight =
+                self.gpus[g].max_in_flight.max(self.gpus[g].in_flight);
+            self.clock
+                .schedule(self.clock.now().max(input_ready), Ev::TaskDone(t));
+            return;
+        }
+
         // Kernel execution on the least-busy stream.
         let op = task.op.expect("kernel task has an op");
         let dur = Duration::new(self.cfg.gpu_model.kernel_time(op));
@@ -581,6 +723,9 @@ impl<'a> SimExecutor<'a> {
                 self.obs.set_valid_node(h.0, g, idx);
             }
         }
+        if let Some(c) = self.ctrl.as_mut() {
+            c.on_kernel(t.0, g, res.start.seconds(), res.end.seconds());
+        }
         self.gpus[g].in_flight += 1;
         self.gpus[g].max_in_flight = self.gpus[g].max_in_flight.max(self.gpus[g].in_flight);
         self.clock.schedule(res.end, Ev::TaskDone(t));
@@ -593,9 +738,10 @@ impl<'a> SimExecutor<'a> {
         let nvlinks = &self.nvlinks;
         let pool = &self.pool;
         let gpus = &self.gpus;
+        let mut ctrl = self.ctrl.as_deref_mut();
         let mut tie = |candidates: &[usize]| -> usize {
             // Prefer the candidate whose outgoing channel to us frees first.
-            candidates
+            let canonical = candidates
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, &c)| {
@@ -603,7 +749,26 @@ impl<'a> SimExecutor<'a> {
                     (pool.free_at(engine), c)
                 })
                 .map(|(i, _)| i)
-                .expect("non-empty candidates")
+                .expect("non-empty candidates");
+            match ctrl.as_mut() {
+                Some(c) if candidates.len() >= 2 => {
+                    // Candidate 0 of the choice is the canonical pick; the
+                    // rest keep ascending order with the canonical removed,
+                    // so choosing 0 reproduces the default run exactly.
+                    let k = c
+                        .choose(ChoicePoint::SourceTieBreak, candidates.len())
+                        .min(candidates.len() - 1);
+                    if k == 0 {
+                        canonical
+                    } else {
+                        (0..candidates.len())
+                            .filter(|&i| i != canonical)
+                            .nth(k - 1)
+                            .expect("k < candidates.len()")
+                    }
+                }
+                _ => canonical,
+            }
         };
         let decision = select_source(
             h,
@@ -668,6 +833,12 @@ impl<'a> SimExecutor<'a> {
                 );
                 self.scratch_engines = engines;
                 self.obs.set_valid_node(h.0, g, idx);
+                // A fresh host copy replaces whatever poison a dead link
+                // left on this replica (host links never fail in the model).
+                self.failed_replicas.remove(&(h.0, g));
+                if let Some(c) = self.ctrl.as_mut() {
+                    c.on_h2d(h.0, g, res.start.seconds(), res.end.seconds());
+                }
                 (res.end, idx, flow)
             }
         }
@@ -737,6 +908,25 @@ impl<'a> SimExecutor<'a> {
         );
         self.scratch_engines = engines;
         self.obs.set_valid_node(h.0, dst, idx);
+        // Fault model: a transfer sourced from a poisoned replica carries
+        // the poison (an optimistic forward of a dead transfer is dead
+        // too), and a transfer still on the wire when its own link dies
+        // fails outright. A good transfer refreshes the destination.
+        let inherited = self.failed_replicas.get(&(h.0, src)).cloned();
+        let fault_hit = self
+            .fault
+            .is_some_and(|f| f.src == src && f.dst == dst && res.end.seconds() > f.at);
+        if let Some(e) = inherited {
+            self.failed_replicas.insert((h.0, dst), e);
+        } else if fault_hit {
+            self.failed_replicas
+                .insert((h.0, dst), Error::LinkDown { src, dst });
+        } else {
+            self.failed_replicas.remove(&(h.0, dst));
+            if let Some(c) = self.ctrl.as_mut() {
+                c.on_p2p(h.0, src, dst, res.start.seconds(), res.end.seconds());
+            }
+        }
         (res.end, idx, flow)
     }
 
@@ -780,6 +970,11 @@ impl<'a> SimExecutor<'a> {
             dep,
         );
         self.scratch_engines = engines;
+        if !self.failed_replicas.contains_key(&(h.0, g)) {
+            if let Some(c) = self.ctrl.as_mut() {
+                c.on_d2h(h.0, g, res.start.seconds(), res.end.seconds());
+            }
+        }
         res.end
     }
 
@@ -797,6 +992,14 @@ impl<'a> SimExecutor<'a> {
         let mut done = now;
         for h in graph.task(t).read_handles() {
             if let Some(g) = self.cache.dirty_on(h) {
+                if let Some(e) = self.failed_replicas.get(&(h.0, g)) {
+                    // A poisoned replica cannot be written back: the flush
+                    // surfaces the failure instead of shipping garbage.
+                    if self.task_failed[t.0].is_none() {
+                        self.task_failed[t.0] = Some(e.clone());
+                    }
+                    continue;
+                }
                 let end = self.issue_d2h(h, g, now);
                 self.cache.mark_flushed(h);
                 done = done.max(end);
@@ -808,32 +1011,40 @@ impl<'a> SimExecutor<'a> {
     fn on_done(&mut self, t: TaskId) {
         let graph = self.graph;
         let task = graph.task(t);
+        let failed = self.task_failed[t.0].clone();
         if task.kind == TaskKind::Kernel {
             let g = self.assigned_to[t.0].expect("kernel was assigned");
             if let Some((pg, ..)) = self.prefetched[t.0] {
                 self.unpin_task(t, pg);
             }
-            for h in task.written_handles() {
-                let bytes = graph.data().info(h).bytes;
-                self.cache.mark_written(h, g, bytes, graph.data());
-            }
-            if self.cfg.eager_flush {
-                // Chameleon/StarPU behaviour: a computed tile goes straight
-                // back to the host once its *final* version is produced
-                // (the flush-back annotation on the unrolled data-flow
-                // graph, §IV-F) — intermediate k-step versions stay.
-                let now = self.clock.now();
+            if failed.is_none() {
                 for h in task.written_handles() {
-                    if self.final_writer[h.0] == Some(t) {
-                        self.issue_d2h(h, g, now);
-                        self.cache.mark_flushed(h);
+                    let bytes = graph.data().info(h).bytes;
+                    self.cache.mark_written(h, g, bytes, graph.data());
+                    // A successful write produces a fresh version: stale
+                    // poison on any replica of this handle is obsolete
+                    // (the writer's copy is now the only valid one).
+                    self.failed_replicas.retain(|&(hh, _), _| hh != h.0);
+                }
+                if self.cfg.eager_flush {
+                    // Chameleon/StarPU behaviour: a computed tile goes
+                    // straight back to the host once its *final* version is
+                    // produced (the flush-back annotation on the unrolled
+                    // data-flow graph, §IV-F) — intermediate k-step
+                    // versions stay.
+                    let now = self.clock.now();
+                    for h in task.written_handles() {
+                        if self.final_writer[h.0] == Some(t) {
+                            self.issue_d2h(h, g, now);
+                            self.cache.mark_flushed(h);
+                        }
                     }
                 }
             }
             if let Some(op) = task.op {
                 self.committed[g] -= self.cfg.gpu_model.kernel_time(op);
             }
-            if !self.cfg.cache_inputs {
+            if failed.is_none() && !self.cfg.cache_inputs {
                 // Re-read runtimes drop clean inputs right after use.
                 for h in task.read_handles() {
                     self.cache.drop_replica(h, g, graph.data());
@@ -844,6 +1055,12 @@ impl<'a> SimExecutor<'a> {
         }
         self.tasks_done += 1;
         for &s in graph.successors(t) {
+            // A dependent of a failed task fails with the same error.
+            if let Some(e) = &failed {
+                if self.task_failed[s.0].is_none() {
+                    self.task_failed[s.0] = Some(e.clone());
+                }
+            }
             self.pending[s.0] -= 1;
             if self.pending[s.0] == 0 {
                 self.on_ready(s);
@@ -1181,6 +1398,52 @@ mod tests {
         let total_wait: f64 = report.links.iter().map(|l| l.wait).sum();
         assert!(total_wait > 0.0, "no contention wait recorded");
         assert!(report.hot_links(3).len() == 3);
+    }
+
+    #[test]
+    fn canonical_controller_is_byte_identical() {
+        let topo = dgx1();
+        let cfg = RuntimeConfig::default();
+        let base = simulate(&broadcast_graph(8), &topo, &cfg);
+        let mut ctrl = crate::choice::CanonicalController;
+        let controlled = SimExecutor::new(&broadcast_graph(8), &topo, &cfg)
+            .observe(ObsLevel::Full)
+            .control(&mut ctrl)
+            .run();
+        assert_eq!(base.makespan.to_bits(), controlled.makespan.to_bits());
+        assert_eq!(base.trace.len(), controlled.trace.len());
+        for (a, b) in base.trace.spans().iter().zip(controlled.trace.spans()) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(base.bytes_p2p, controlled.bytes_p2p);
+        assert_eq!(base.bytes_h2d, controlled.bytes_h2d);
+        assert!(controlled.failures.is_empty());
+    }
+
+    #[test]
+    fn link_fault_fails_waiters_without_deadlock() {
+        // t0 on gpu0 pulls the shared tile from the host; t1 on gpu4 gets
+        // it as an optimistic forward over the 0->4 NVLink — which is dead
+        // from t=0. t1 must surface LinkDown instead of hanging, t0 must
+        // stay healthy, and the run must drain completely.
+        let topo = dgx1();
+        let mut g = TaskGraph::new();
+        let shared = g.add_host_tile(32 * MB, true, "A");
+        let c0 = g.add_data(DataInfo::host(32 * MB, true, "C0").with_owner(0));
+        let c1 = g.add_data(DataInfo::host(32 * MB, true, "C1").with_owner(4));
+        g.add_task(tiny_op(), vec![read(shared), rw(c0)], "t0");
+        g.add_task(tiny_op(), vec![read(shared), rw(c1)], "t1");
+        let cfg = RuntimeConfig::default().with_scheduler(SchedulerKind::StaticOwner);
+        let out = SimExecutor::new(&g, &topo, &cfg)
+            .observe(ObsLevel::Off)
+            .with_fault(LinkFault { src: 0, dst: 4, at: 0.0 })
+            .run();
+        assert_eq!(out.tasks_run, 2, "run must drain, not deadlock");
+        assert_eq!(
+            out.failures,
+            vec![(1, Error::LinkDown { src: 0, dst: 4 })],
+            "t1 surfaces the dead forward, t0 stays healthy"
+        );
     }
 
     #[test]

@@ -104,6 +104,39 @@ impl<E> EventQueue<E> {
         self.heap.pop().map(|e| (e.time, e.event))
     }
 
+    /// Removes and returns one of the earliest-time events, letting `tie`
+    /// pick among them when several share the minimum timestamp.
+    ///
+    /// The tied events are presented to `tie` in FIFO (sequence) order, so
+    /// `tie(_) == 0` reproduces [`EventQueue::pop`] exactly. Events not
+    /// picked are re-inserted with their original sequence numbers, so
+    /// future pops keep the deterministic FIFO order among them. `tie` is
+    /// only consulted when two or more events are tied; out-of-range picks
+    /// are clamped to the last candidate.
+    pub fn pop_tied(&mut self, tie: &mut dyn FnMut(usize) -> usize) -> Option<(SimTime, E)> {
+        let first = self.heap.pop()?;
+        let t = first.time;
+        if self.heap.peek().is_none_or(|e| e.time != t) {
+            return Some((first.time, first.event));
+        }
+        // Collect the whole tie group; BinaryHeap pops it in seq order.
+        let mut tied = vec![first];
+        while let Some(e) = self.heap.peek() {
+            if e.time != t {
+                break;
+            }
+            tied.push(self.heap.pop().expect("peeked entry"));
+        }
+        let pick = tie(tied.len()).min(tied.len() - 1);
+        let chosen = tied.swap_remove(pick);
+        // Re-insert the rest; their original `seq` values keep relative
+        // FIFO order stable for later pops.
+        for e in tied {
+            self.heap.push(e);
+        }
+        Some((chosen.time, chosen.event))
+    }
+
     /// Time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.time)
@@ -181,6 +214,18 @@ impl<E> Clock<E> {
     /// Pops the next event, advancing the clock to its timestamp.
     pub fn next(&mut self) -> Option<(SimTime, E)> {
         let (t, e) = self.queue.pop()?;
+        debug_assert!(t >= self.now, "event heap returned a past event");
+        self.now = t;
+        Some((t, e))
+    }
+
+    /// Pops one of the earliest-time events, advancing the clock to its
+    /// timestamp; `tie` picks among same-time candidates (see
+    /// [`EventQueue::pop_tied`]). With `tie(_) == 0` this is exactly
+    /// [`Clock::next`] — the hook schedule-space checkers use to explore
+    /// event orderings without giving up determinism.
+    pub fn next_with(&mut self, tie: &mut dyn FnMut(usize) -> usize) -> Option<(SimTime, E)> {
+        let (t, e) = self.queue.pop_tied(tie)?;
         debug_assert!(t >= self.now, "event heap returned a past event");
         self.now = t;
         Some((t, e))
@@ -269,6 +314,61 @@ mod tests {
         q.push(SimTime::new(1.0), 2u8);
         assert_eq!(q.pop(), Some((SimTime::new(1.0), 2u8)));
         assert_eq!(q.pop(), Some((SimTime::new(2.0), 1u8)));
+    }
+
+    #[test]
+    fn pop_tied_zero_is_fifo() {
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        for (t, e) in [(1.0, 0), (1.0, 1), (2.0, 2), (1.0, 3), (2.0, 4)] {
+            a.push(SimTime::new(t), e);
+            b.push(SimTime::new(t), e);
+        }
+        let mut canonical = |_n: usize| 0;
+        while let Some(ea) = a.pop() {
+            assert_eq!(Some(ea), b.pop_tied(&mut canonical));
+        }
+        assert!(b.pop_tied(&mut canonical).is_none());
+    }
+
+    #[test]
+    fn pop_tied_picks_and_preserves_rest() {
+        let mut q = EventQueue::new();
+        for i in 0..4 {
+            q.push(SimTime::new(1.0), i);
+        }
+        q.push(SimTime::new(2.0), 9);
+        let mut ns = Vec::new();
+        let got = q
+            .pop_tied(&mut |n| {
+                ns.push(n);
+                2
+            })
+            .unwrap();
+        assert_eq!(got, (SimTime::new(1.0), 2));
+        assert_eq!(ns, vec![4]);
+        // Remaining tied events keep FIFO order among themselves.
+        assert_eq!(q.pop(), Some((SimTime::new(1.0), 0)));
+        assert_eq!(q.pop(), Some((SimTime::new(1.0), 1)));
+        assert_eq!(q.pop(), Some((SimTime::new(1.0), 3)));
+        assert_eq!(q.pop(), Some((SimTime::new(2.0), 9)));
+    }
+
+    #[test]
+    fn pop_tied_out_of_range_clamps_and_singleton_skips_tie() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::new(1.0), 'a');
+        // Single candidate: tie must not be consulted.
+        let mut called = false;
+        let got = q.pop_tied(&mut |_| {
+            called = true;
+            0
+        });
+        assert_eq!(got, Some((SimTime::new(1.0), 'a')));
+        assert!(!called);
+        q.push(SimTime::new(3.0), 'x');
+        q.push(SimTime::new(3.0), 'y');
+        assert_eq!(q.pop_tied(&mut |_| 99), Some((SimTime::new(3.0), 'y')));
     }
 
     #[test]

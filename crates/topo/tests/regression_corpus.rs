@@ -1,0 +1,27 @@
+//! Pinned regression case promoted from `properties.proptest-regressions`.
+//!
+//! The proptest corpus file is only consulted when the property tests run
+//! (which requires the `proptest` dev-dependency); this plain test pins the
+//! shrunken counterexample permanently so it runs in every build.
+
+use xk_topo::{builders, Device};
+
+/// Corpus entry `13e72c…`: a maximally-asymmetric 2-GPU bandwidth matrix
+/// (88.2 GB/s one way, 5 GB/s the other). The builder must symmetrize so
+/// perf ranks, route classes and route bandwidths agree in both directions.
+#[test]
+fn asymmetric_matrix_builds_symmetric_topology() {
+    let m = vec![vec![700.0, 88.202_144_275_000_01], vec![5.0, 700.0]];
+    let n = m.len();
+    let t = builders::from_bandwidth_matrix_gbs("arb", &m);
+    t.validate().unwrap();
+    for a in 0..n {
+        for b in 0..n {
+            assert_eq!(t.perf_rank(a, b), t.perf_rank(b, a));
+            let r1 = t.route(Device::Gpu(a), Device::Gpu(b));
+            let r2 = t.route(Device::Gpu(b), Device::Gpu(a));
+            assert_eq!(r1.class, r2.class);
+            assert!((r1.bandwidth - r2.bandwidth).abs() < 1e-6);
+        }
+    }
+}

@@ -1,10 +1,12 @@
 //! Trace spans: one timed operation on one engine of one device.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// Category of a traced operation, matching the categories of the paper's
 /// nvprof-based figures (Fig. 6, 7, 9).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize, PartialOrd, Ord)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum SpanKind {
     /// `CUDA memcpy HtoD` — host to device transfer.
     H2D,
@@ -46,7 +48,8 @@ impl SpanKind {
 }
 
 /// Location of a span: which device, or the host.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize, PartialOrd, Ord)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum Place {
     /// Host CPU / main memory.
     Host,
@@ -71,7 +74,8 @@ impl std::fmt::Display for Place {
 /// Storing a `u32` per span instead of a cloned `String` keeps the DES hot
 /// loop allocation-free; the text is resolved once, at export, via
 /// [`crate::Trace::label`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize, PartialOrd, Ord)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Label(pub u32);
 
 impl Label {
@@ -93,7 +97,8 @@ impl Default for Label {
 /// root). [`FlowId::NONE`] marks spans that belong to no chain. The Chrome
 /// `trace_event` export renders each chain as flow arrows, making the
 /// optimistic D2D forwarding (paper §III-C) directly visible in a viewer.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize, PartialOrd, Ord)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct FlowId(pub u32);
 
 impl FlowId {
@@ -108,7 +113,8 @@ impl Default for FlowId {
 }
 
 /// One timed operation.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Span {
     /// Device the operation is attributed to. Transfers are attributed to
     /// their *destination* device (as nvprof attributes memcpys to the
@@ -131,7 +137,7 @@ pub struct Span {
     /// Data-flow chain membership ([`FlowId::NONE`] when unlinked).
     /// Defaults on deserialization so traces recorded before flow tracking
     /// still load.
-    #[serde(default)]
+    #[cfg_attr(feature = "serde", serde(default))]
     pub flow: FlowId,
 }
 

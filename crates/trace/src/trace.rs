@@ -2,6 +2,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 use crate::span::{FlowId, Label, Place, Span, SpanKind};
@@ -30,20 +31,22 @@ fn longest_interval_gap(mut intervals: Vec<(f64, f64)>) -> f64 {
 /// Span labels are interned: each [`Span`] carries a [`Label`] index into
 /// this trace's symbol table ([`Trace::intern`] / [`Trace::label`]), so
 /// recording a span never clones a `String`.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Trace {
     spans: Vec<Span>,
     /// Symbol table: `Label(i)` resolves to `labels[i]`.
-    #[serde(default)]
+    #[cfg_attr(feature = "serde", serde(default))]
     labels: Vec<String>,
     /// Reverse lookup for `intern`; rebuilt lazily after deserialization
     /// (it is not serialized).
-    #[serde(skip)]
+    #[cfg_attr(feature = "serde", serde(skip))]
     index: HashMap<String, u32>,
 }
 
 /// Per-kind cumulated busy time, in seconds.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Breakdown {
     /// Seconds per span kind.
     pub by_kind: BTreeMap<SpanKind, f64>,
@@ -452,6 +455,10 @@ mod tests {
         assert_eq!(a.spans()[2].flow, FlowId::NONE);
     }
 
+    /// Gated on the real serde: under the inert offline shim this
+    /// round-trip cannot work by construction, so the test compiles out
+    /// instead of failing.
+    #[cfg(feature = "serde")]
     #[test]
     fn intern_index_rebuilds_after_deserialization() {
         let mut t = Trace::new();

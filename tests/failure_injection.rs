@@ -171,6 +171,50 @@ fn invalid_topology_rejected() {
     assert!(result.is_err());
 }
 
+/// A link dying while an optimistic-D2D forward would use it: the waiting
+/// task must surface `LinkDown` instead of hanging on the in-flight
+/// transfer, the unaffected task stays healthy, and the run drains.
+#[test]
+fn link_failure_during_optimistic_d2d() {
+    use xkblas_repro::kernels::perfmodel::TileOp;
+    use xkblas_repro::runtime::task::{Access, TaskAccess};
+    use xkblas_repro::runtime::{DataInfo, Error, LinkFault, SchedulerKind};
+
+    let topo = dgx1();
+    let mb = 1u64 << 20;
+    let mut g = TaskGraph::new();
+    let shared = g.add_host_tile(32 * mb, true, "A");
+    let c0 = g.add_data(DataInfo::host(32 * mb, true, "C0").with_owner(0));
+    let c1 = g.add_data(DataInfo::host(32 * mb, true, "C1").with_owner(4));
+    let op = TileOp::Gemm { m: 2048, n: 2048, k: 2048 };
+    let read = |h| TaskAccess { handle: h, access: Access::Read };
+    let rw = |h| TaskAccess { handle: h, access: Access::ReadWrite };
+    g.add_task(op, vec![read(shared), rw(c0)], "t0");
+    g.add_task(op, vec![read(shared), rw(c1)], "t1");
+
+    let mut cfg = RuntimeConfig::xkblas();
+    cfg.scheduler = SchedulerKind::StaticOwner;
+
+    // Healthy baseline: t1's copy of the shared tile arrives as an
+    // optimistic device-to-device forward out of GPU 0.
+    let healthy = SimSession::on(&topo).config(cfg.clone()).run(&g).into_outcome();
+    assert!(healthy.failures.is_empty());
+    assert!(healthy.bytes_p2p > 0, "expected an optimistic forward");
+
+    // Same run with the 0->4 link dead from t=0, through the facade.
+    let out = SimSession::on(&topo)
+        .config(cfg)
+        .link_fault(LinkFault { src: 0, dst: 4, at: 0.0 })
+        .run(&g)
+        .into_outcome();
+    assert_eq!(out.tasks_run, 2, "run must drain, not deadlock");
+    assert_eq!(
+        out.failures,
+        vec![(1, Error::LinkDown { src: 0, dst: 4 })],
+        "the waiter fails over the dead link, its peer stays healthy"
+    );
+}
+
 /// A graph with a long serial chain is dominated by the critical path on
 /// any topology — parallel hardware cannot help.
 #[test]
