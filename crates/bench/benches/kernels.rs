@@ -8,7 +8,30 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use xk_kernels::naive::gemm_naive;
 use xk_kernels::parallel::{par_fill_pattern, par_gemm, par_gemm_naive};
-use xk_kernels::{gemm, syrk, trsm, Diag, MatMut, MatRef, Side, Trans, Uplo};
+use xk_kernels::simd::{run_tile, supported_isas};
+use xk_kernels::{gemm, kernel_shape, syrk, trsm, Diag, MatMut, MatRef, Side, Trans, Uplo};
+
+/// Every host-supported microkernel head to head: bare `run_tile` calls at
+/// the kernel's own KC depth over packed L1-resident panels — no packing,
+/// no cache blocking — so criterion reports pure register-tile GFLOP/s
+/// (scalar vs AVX2 vs AVX-512 on x86, scalar vs NEON on aarch64).
+fn bench_microkernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("microkernel_tile");
+    for &isa in supported_isas() {
+        let s = kernel_shape::<f64>(isa);
+        let kc = s.kc;
+        let pa: Vec<f64> = (0..kc * s.mr).map(|i| (i % 23) as f64 * 0.05 - 0.5).collect();
+        let pb: Vec<f64> = (0..kc * s.nr).map(|i| (i % 19) as f64 * 0.05 - 0.4).collect();
+        let mut tile = vec![0.0f64; s.mr * s.nr];
+        group.throughput(Throughput::Elements((2 * s.mr * s.nr * kc) as u64));
+        group.bench_function(BenchmarkId::new(s.name, kc), |bench| {
+            bench.iter(|| {
+                run_tile(isa, kc, &pa, &pb, 1.0, 1.0, &mut tile, s.mr);
+            });
+        });
+    }
+    group.finish();
+}
 
 fn bench_gemm_tiles(c: &mut Criterion) {
     let mut group = c.benchmark_group("tile_dgemm");
@@ -142,6 +165,7 @@ fn bench_par_gemm(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_microkernels,
     bench_gemm_tiles,
     bench_syrk_tile,
     bench_trsm_tile,

@@ -1,0 +1,27 @@
+//! Writes `BENCH_kernels.json`: the host BLAS-3 routines under the
+//! runtime-dispatched SIMD microkernel (all six routines at 256/512/1024,
+//! fraction of measured microkernel peak), plus GEMM/1024 under every other
+//! host-supported ISA for comparison.
+//!
+//! Usage: `bench_kernels [OUT.json]` (default `BENCH_kernels.json`).
+//! Pin a kernel with `XK_KERNEL_ISA={auto,avx512,avx2,neon,scalar}`.
+
+use xk_bench::kernelbench;
+
+const REPS: usize = 5;
+const PEAK_BUDGET_MS: u64 = 200;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    eprintln!(
+        "kernel snapshot: {:?} x {REPS} reps under XK_KERNEL_ISA={} ...",
+        kernelbench::SIZES,
+        xk_kernels::selected_isa().name()
+    );
+    let json = kernelbench::snapshot_json(REPS, PEAK_BUDGET_MS);
+    std::fs::write(&out, json.as_bytes()).expect("snapshot written");
+    print!("{json}");
+    eprintln!("wrote {out}");
+}

@@ -175,12 +175,28 @@ fn bench_kernels() -> serde_json::Value {
 
     serde_json::json!({
         "reps": REPS,
+        "detected_isa": xk_kernels::detected_isa().name(),
+        "dispatched_isa": xk_kernels::selected_isa().name(),
+        "microkernel": kernel_shape_json(),
         "sequential": per_size,
         "par_gemm_1024": {
             "blocked_gflops": gflops(Routine::Gemm, n, blocked_secs),
             "naive_gflops": gflops(Routine::Gemm, n, naive_secs),
             "speedup_vs_naive": naive_secs / blocked_secs,
         },
+    })
+}
+
+/// The dispatched microkernel's shape, for the snapshot header.
+fn kernel_shape_json() -> serde_json::Value {
+    let s = xk_kernels::kernel_shape::<f64>(xk_kernels::selected_isa());
+    serde_json::json!({
+        "name": s.name,
+        "mr": s.mr,
+        "nr": s.nr,
+        "kc": s.kc,
+        "mc": s.mc,
+        "nc": s.nc,
     })
 }
 
@@ -403,4 +419,15 @@ fn main() {
     std::fs::write(&out, pretty.as_bytes()).expect("snapshot written");
     println!("{pretty}");
     eprintln!("wrote {out}");
+
+    // The dedicated kernel/ISA snapshot rides along: same numbers the
+    // standalone `bench_kernels` binary produces.
+    let kernels_out = "BENCH_kernels.json";
+    eprintln!("kernel/ISA snapshot ...");
+    std::fs::write(
+        kernels_out,
+        xk_bench::kernelbench::snapshot_json(3, 200).as_bytes(),
+    )
+    .expect("kernel snapshot written");
+    eprintln!("wrote {kernels_out}");
 }

@@ -15,6 +15,7 @@ pub mod composition;
 pub mod figs;
 #[cfg(feature = "graphgen")]
 pub mod graphgen;
+pub mod kernelbench;
 #[cfg(feature = "harness")]
 pub mod report;
 #[cfg(feature = "harness")]

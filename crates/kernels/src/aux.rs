@@ -129,6 +129,45 @@ pub fn rel_error<T: Scalar>(computed: MatRef<'_, T>, reference: MatRef<'_, T>) -
     max_abs_diff(computed, reference) / denom
 }
 
+/// ULP distance between two `f64` values: the number of representable
+/// doubles between them (0 when bitwise equal, 1 for adjacent values).
+/// Uses the total-order bit trick, so it is well-defined across signs and
+/// at zero (`-0.0` and `+0.0` are 0 apart). NaN anywhere returns
+/// `u64::MAX` so comparisons fail loudly.
+pub fn ulp_distance(x: f64, y: f64) -> u64 {
+    if x.is_nan() || y.is_nan() {
+        return u64::MAX;
+    }
+    // Map the sign-magnitude bit pattern onto a monotone integer line
+    // (negative floats fold below zero, with -0.0 and +0.0 coinciding).
+    fn key(v: f64) -> i64 {
+        let b = v.to_bits() as i64;
+        if b < 0 {
+            i64::MIN - b
+        } else {
+            b
+        }
+    }
+    key(x).abs_diff(key(y))
+}
+
+/// Max ULP distance between two equally sized `f64` matrices — the metric
+/// the per-ISA kernel tests use: FMA contraction and the different
+/// summation shapes of the SIMD microkernels move results by a few ULPs
+/// relative to the scalar oracle, a bound that (unlike an absolute
+/// tolerance) is independent of the magnitude of `C`.
+pub fn max_ulp_diff(a: MatRef<'_, f64>, b: MatRef<'_, f64>) -> u64 {
+    assert_eq!(a.nrows(), b.nrows());
+    assert_eq!(a.ncols(), b.ncols());
+    let mut acc = 0u64;
+    for j in 0..a.ncols() {
+        for (x, y) in a.col(j).iter().zip(b.col(j)) {
+            acc = acc.max(ulp_distance(*x, *y));
+        }
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,5 +236,26 @@ mod tests {
         // (1,0) differs but is outside the Upper triangle.
         assert_eq!(max_abs_diff_tri(Uplo::Upper, ar, br), 0.0);
         assert!((max_abs_diff_tri(Uplo::Lower, ar, br) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ulp_distance_counts_representable_steps() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(1.0, f64::from_bits(1.0f64.to_bits() + 1)), 1);
+        assert_eq!(ulp_distance(1.0, f64::from_bits(1.0f64.to_bits() + 7)), 7);
+        assert_eq!(ulp_distance(0.0, -0.0), 0);
+        // Crossing zero: one step on each side of +/-0.
+        assert_eq!(ulp_distance(f64::from_bits(1), -f64::from_bits(1)), 2);
+        assert_eq!(ulp_distance(-1.0, f64::from_bits(1.0f64.to_bits() + 1).copysign(-1.0)), 1);
+        assert_eq!(ulp_distance(f64::NAN, 1.0), u64::MAX);
+
+        let a = vec![1.0f64, -2.0, 3.0, 4.0];
+        let mut b = a.clone();
+        b[2] = f64::from_bits(b[2].to_bits() + 3);
+        let d = max_ulp_diff(
+            MatRef::from_slice(&a, 2, 2, 2),
+            MatRef::from_slice(&b, 2, 2, 2),
+        );
+        assert_eq!(d, 3);
     }
 }

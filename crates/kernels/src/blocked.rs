@@ -19,28 +19,38 @@
 //! fixed micro-panel layout the microkernel expects, and the hot loop never
 //! branches on storage format.
 //!
-//! The microkernel accumulates a full `MR × NR` register tile over fixed
-//! arrays so the compiler unrolls and autovectorizes it for `f32`/`f64`
-//! (fringe tiles are zero-padded in the packed panels and clipped at the
-//! store). Pack buffers are reused thread-locally across calls, so steady
-//! state performs no allocation — important because `par_gemm` and the
-//! parallel executor invoke this engine from many rayon/crossbeam workers.
+//! Since PR 6 the engine is **generic over the microkernel**
+//! ([`crate::simd::MicroKernel`]): the register-tile shape `MR × NR` and
+//! the `KC`/`MC`/`NC` blocking are associated constants of the dispatched
+//! kernel, the packers produce micro-panels of whatever width that kernel
+//! wants, and [`gemm_with`] routes through the runtime ISA dispatcher
+//! ([`crate::simd::selected_isa`]) so an AVX-512, AVX2, NEON or scalar
+//! kernel is chosen per machine (override with `XK_KERNEL_ISA`). Fringe
+//! tiles are zero-padded in the packed panels and clipped at the store,
+//! so boundary shapes stay exact on every path. Pack buffers are reused
+//! thread-locally across calls, so steady state performs no allocation —
+//! important because `par_gemm` and the parallel executor invoke this
+//! engine from many rayon/crossbeam workers.
 
 use std::cell::RefCell;
 
 use crate::scalar::Scalar;
+use crate::simd::MicroKernel;
 use crate::types::Trans;
 use crate::view::{MatMut, MatRef};
 
-/// Microkernel register-tile rows (height of one packed `OA` micro-panel).
+/// Scalar-kernel register-tile rows. The portable kernel's geometry is
+/// re-exported as crate-level constants because sizing heuristics and the
+/// boundary-grid tests reference a fixed shape; the *dispatched* kernel's
+/// geometry is [`crate::simd::kernel_shape`].
 pub const MR: usize = 8;
-/// Microkernel register-tile columns (width of one packed `OB` micro-panel).
+/// Scalar-kernel register-tile columns (see [`MR`]).
 pub const NR: usize = 4;
-/// Rows per packed `OA` macro-panel (`MC × KC` elements target L2).
+/// Scalar-kernel rows per packed `OA` macro-panel (`MC × KC` targets L2).
 pub const MC: usize = 128;
-/// Depth of one packed panel pair (the k-dimension block).
+/// Scalar-kernel depth of one packed panel pair (the k-dimension block).
 pub const KC: usize = 256;
-/// Columns per packed `OB` macro-panel (`KC × NC` elements target L3).
+/// Scalar-kernel columns per packed `OB` macro-panel (`KC × NC` targets L3).
 pub const NC: usize = 2048;
 /// Diagonal-block order used by the blocked triangular routines
 /// (trmm/trsm substitution blocks, syrk/syr2k diagonal tiles).
@@ -86,11 +96,11 @@ fn with_pack_buffers<T: Scalar, R>(
     })
 }
 
-/// Packs `OA[ic..ic+mc, pc..pc+kc]` into micro-panels of `MR` rows.
+/// Packs `OA[ic..ic+mc, pc..pc+kc]` into micro-panels of `mr_k` rows.
 ///
-/// Layout: panel `ip` holds rows `[ip*MR, ip*MR+MR)` as `kc` contiguous
-/// `MR`-element column slices; rows past `mc` are zero-padded so the
-/// microkernel always runs a full register tile.
+/// Layout: panel `ip` holds rows `[ip*mr_k, ip*mr_k + mr_k)` as `kc`
+/// contiguous `mr_k`-element column slices; rows past `mc` are zero-padded
+/// so the microkernel always runs a full register tile.
 fn pack_a<T: Scalar>(
     buf: &mut [T],
     oa: &impl Fn(usize, usize) -> T,
@@ -98,13 +108,14 @@ fn pack_a<T: Scalar>(
     mc: usize,
     pc: usize,
     kc: usize,
+    mr_k: usize,
 ) {
-    for ip in 0..mc.div_ceil(MR) {
-        let base = ip * kc * MR;
-        let i0 = ic + ip * MR;
-        let rows = MR.min(mc - ip * MR);
+    for ip in 0..mc.div_ceil(mr_k) {
+        let base = ip * kc * mr_k;
+        let i0 = ic + ip * mr_k;
+        let rows = mr_k.min(mc - ip * mr_k);
         for p in 0..kc {
-            let dst = &mut buf[base + p * MR..base + (p + 1) * MR];
+            let dst = &mut buf[base + p * mr_k..base + (p + 1) * mr_k];
             for (r, d) in dst.iter_mut().take(rows).enumerate() {
                 *d = oa(i0 + r, pc + p);
             }
@@ -115,7 +126,7 @@ fn pack_a<T: Scalar>(
     }
 }
 
-/// Packs `OB[pc..pc+kc, jc..jc+nc]` into micro-panels of `NR` columns
+/// Packs `OB[pc..pc+kc, jc..jc+nc]` into micro-panels of `nr_k` columns
 /// (columns past `nc` zero-padded), mirroring [`pack_a`].
 fn pack_b<T: Scalar>(
     buf: &mut [T],
@@ -124,13 +135,14 @@ fn pack_b<T: Scalar>(
     kc: usize,
     jc: usize,
     nc: usize,
+    nr_k: usize,
 ) {
-    for jp in 0..nc.div_ceil(NR) {
-        let base = jp * kc * NR;
-        let j0 = jc + jp * NR;
-        let cols = NR.min(nc - jp * NR);
+    for jp in 0..nc.div_ceil(nr_k) {
+        let base = jp * kc * nr_k;
+        let j0 = jc + jp * nr_k;
+        let cols = nr_k.min(nc - jp * nr_k);
         for p in 0..kc {
-            let dst = &mut buf[base + p * NR..base + (p + 1) * NR];
+            let dst = &mut buf[base + p * nr_k..base + (p + 1) * nr_k];
             for (c, d) in dst.iter_mut().take(cols).enumerate() {
                 *d = ob(pc + p, j0 + c);
             }
@@ -141,68 +153,15 @@ fn pack_b<T: Scalar>(
     }
 }
 
-/// The register-tiled microkernel: a full `MR × NR` rank-`kc` update over
-/// one packed A micro-panel and one packed B micro-panel.
+/// The blocked loop nest, monomorphized per microkernel: every blocking
+/// constant comes from `MK`, so the compiler sees fixed trip counts and
+/// panel strides for each ISA variant.
 ///
-/// `acc[c * MR + r]` accumulates element `(r, c)`; the fixed-size array and
-/// constant trip counts let the compiler keep the tile in registers and
-/// vectorize the row dimension.
-#[inline]
-fn micro_tile<T: Scalar>(kc: usize, pa: &[T], pb: &[T]) -> [T; MR * NR] {
-    let mut acc = [T::ZERO; MR * NR];
-    for p in 0..kc {
-        let a: &[T; MR] = pa[p * MR..(p + 1) * MR].try_into().unwrap();
-        let b: &[T; NR] = pb[p * NR..(p + 1) * NR].try_into().unwrap();
-        for (c, &bv) in b.iter().enumerate() {
-            for (r, &av) in a.iter().enumerate() {
-                acc[c * MR + r] += av * bv;
-            }
-        }
-    }
-    acc
-}
-
-/// Writes an accumulated register tile back to `C`, clipped to the
-/// `mr × nr` valid fringe: `C = alpha * acc + beta * C`. `beta == 0`
-/// overwrites without reading (NaN-safe, like BLAS).
-#[inline]
+/// Only the dispatchers in `scalar.rs` may call this, and only with a
+/// kernel whose ISA the host supports ([`crate::simd::supported_isas`]) —
+/// that invariant is what makes the `MK::tile` call below sound.
 #[allow(clippy::too_many_arguments)]
-fn store_tile<T: Scalar>(
-    acc: &[T; MR * NR],
-    alpha: T,
-    beta: T,
-    c: &mut MatMut<'_, T>,
-    i0: usize,
-    j0: usize,
-    mr: usize,
-    nr: usize,
-) {
-    for cc in 0..nr {
-        if beta == T::ZERO {
-            for r in 0..mr {
-                c.set(i0 + r, j0 + cc, alpha * acc[cc * MR + r]);
-            }
-        } else if beta == T::ONE {
-            for r in 0..mr {
-                c.update(i0 + r, j0 + cc, |v| v + alpha * acc[cc * MR + r]);
-            }
-        } else {
-            for r in 0..mr {
-                c.update(i0 + r, j0 + cc, |v| beta * v + alpha * acc[cc * MR + r]);
-            }
-        }
-    }
-}
-
-/// Blocked GEMM over element accessors:
-/// `C = alpha * OA * OB + beta * C` with `OA` logically `m × k` and `OB`
-/// logically `k × n`.
-///
-/// This is the engine every routine in the crate routes its bulk updates
-/// through. `beta` is applied by the first depth block's store (skipped
-/// entirely when `beta == 1`), so `C` is read and written exactly once.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn gemm_with<T, OA, OB>(
+pub(crate) fn engine<T, MK, OA, OB>(
     m: usize,
     n: usize,
     k: usize,
@@ -213,6 +172,7 @@ pub(crate) fn gemm_with<T, OA, OB>(
     mut c: MatMut<'_, T>,
 ) where
     T: Scalar,
+    MK: MicroKernel<T>,
     OA: Fn(usize, usize) -> T,
     OB: Fn(usize, usize) -> T,
 {
@@ -225,35 +185,82 @@ pub(crate) fn gemm_with<T, OA, OB>(
         crate::gemm::scale_in_place(beta, c);
         return;
     }
-    let kc_max = KC.min(k);
-    let a_elems = MC.min(m).div_ceil(MR) * MR * kc_max;
-    let b_elems = NC.min(n).div_ceil(NR) * NR * kc_max;
+    let kc_max = MK::KC.min(k);
+    let a_elems = MK::MC.min(m).div_ceil(MK::MR) * MK::MR * kc_max;
+    let b_elems = MK::NC.min(n).div_ceil(MK::NR) * MK::NR * kc_max;
+    let ld = c.ld();
     with_pack_buffers(a_elems, b_elems, |pa, pb| {
-        for jc in (0..n).step_by(NC) {
-            let nc = NC.min(n - jc);
-            for pc in (0..k).step_by(KC) {
-                let kc = KC.min(k - pc);
+        for jc in (0..n).step_by(MK::NC) {
+            let nc = MK::NC.min(n - jc);
+            for pc in (0..k).step_by(MK::KC) {
+                let kc = MK::KC.min(k - pc);
                 // Fold beta into the first depth block: every C element is
                 // touched exactly once per pc iteration.
                 let beta_eff = if pc == 0 { beta } else { T::ONE };
-                pack_b(pb, &ob, pc, kc, jc, nc);
-                for ic in (0..m).step_by(MC) {
-                    let mc = MC.min(m - ic);
-                    pack_a(pa, &oa, ic, mc, pc, kc);
-                    for jr in (0..nc).step_by(NR) {
-                        let nr = NR.min(nc - jr);
-                        let pb_panel = &pb[(jr / NR) * kc * NR..][..kc * NR];
-                        for ir in (0..mc).step_by(MR) {
-                            let mr = MR.min(mc - ir);
-                            let pa_panel = &pa[(ir / MR) * kc * MR..][..kc * MR];
-                            let acc = micro_tile(kc, pa_panel, pb_panel);
-                            store_tile(&acc, alpha, beta_eff, &mut c, ic + ir, jc + jr, mr, nr);
+                pack_b(pb, &ob, pc, kc, jc, nc, MK::NR);
+                for ic in (0..m).step_by(MK::MC) {
+                    let mc = MK::MC.min(m - ic);
+                    pack_a(pa, &oa, ic, mc, pc, kc, MK::MR);
+                    for jr in (0..nc).step_by(MK::NR) {
+                        let nr = MK::NR.min(nc - jr);
+                        let pb_panel = &pb[(jr / MK::NR) * kc * MK::NR..][..kc * MK::NR];
+                        for ir in (0..mc).step_by(MK::MR) {
+                            let mr = MK::MR.min(mc - ir);
+                            let pa_panel = &pa[(ir / MK::MR) * kc * MK::MR..][..kc * MK::MR];
+                            // SAFETY: the packed panels hold kc full
+                            // micro-panels (zero-padded), the C pointer
+                            // addresses an in-bounds mr × nr region with
+                            // leading dimension ld, 0 < mr <= MK::MR and
+                            // 0 < nr <= MK::NR by the min() clips, and the
+                            // dispatcher only selects host-supported MKs.
+                            unsafe {
+                                MK::tile(
+                                    kc,
+                                    pa_panel.as_ptr(),
+                                    pb_panel.as_ptr(),
+                                    alpha,
+                                    beta_eff,
+                                    c.ptr_at_mut(ic + ir, jc + jr),
+                                    ld,
+                                    mr,
+                                    nr,
+                                );
+                            }
                         }
                     }
                 }
             }
         }
     });
+}
+
+/// Blocked GEMM over element accessors:
+/// `C = alpha * OA * OB + beta * C` with `OA` logically `m × k` and `OB`
+/// logically `k × n`.
+///
+/// This is the engine every routine in the crate routes its bulk updates
+/// through — and the single dispatch point: it reads
+/// [`crate::simd::selected_isa`] and runs the matching monomorphized
+/// [`engine`], so all six routines inherit the best kernel for the host
+/// with zero call-site changes. `beta` is applied by the first depth
+/// block's store (skipped entirely when `beta == 1`), so `C` is read and
+/// written exactly once.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_with<T, OA, OB>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    oa: OA,
+    ob: OB,
+    beta: T,
+    c: MatMut<'_, T>,
+) where
+    T: Scalar,
+    OA: Fn(usize, usize) -> T,
+    OB: Fn(usize, usize) -> T,
+{
+    T::gemm_engine(crate::simd::selected_isa(), m, n, k, alpha, oa, ob, beta, c)
 }
 
 /// Blocked GEMM over matrix views: dispatches the four `Trans` combinations

@@ -9,7 +9,10 @@
 //!   blocked, packed, register-tiled GEMM engine (MC/KC/NC cache blocking,
 //!   thread-local pack buffers, an `MR × NR` microkernel); triangular and
 //!   symmetric structure is handled by block partitioning around that
-//!   engine. The pre-blocking scalar GEMM survives as [`naive::gemm_naive`]
+//!   engine. The microkernel is picked per machine by the runtime ISA
+//!   dispatcher in [`simd`] (AVX-512 / AVX2 / NEON `std::arch` kernels
+//!   with a portable scalar fallback, overridable via `XK_KERNEL_ISA`).
+//!   The pre-blocking scalar GEMM survives as [`naive::gemm_naive`]
 //!   for baseline benchmarking.
 //! * **Timing** — [`GpuModel`], a calibrated V100 kernel-time model used by
 //!   the simulated executors: the same tile task that *computes* on the CPU
@@ -39,6 +42,7 @@ pub mod parallel;
 pub mod perfmodel;
 pub mod reference;
 mod scalar;
+pub mod simd;
 mod symm;
 mod syr2k;
 mod syrk;
@@ -49,6 +53,7 @@ mod view;
 
 pub use blocked::{KC, MC, MR, NC, NR, TB};
 pub use gemm::{gemm, scale_in_place};
+pub use simd::{detected_isa, kernel_shape, selected_isa, Isa, KernelShape, ISA_ENV};
 pub use helpers::{sym_at, tri_at};
 pub use perfmodel::{GpuModel, TileOp, PITCHED_COPY_FACTOR};
 pub use scalar::Scalar;

@@ -7,7 +7,6 @@
 
 use rayon::prelude::*;
 
-use crate::blocked::{MR, NR};
 use crate::gemm::gemm;
 use crate::naive::gemm_naive;
 use crate::scalar::Scalar;
@@ -28,8 +27,10 @@ unsafe impl<T: Sync> Sync for SendPtr<T> {}
 /// divided into row panels (each pairing with a row panel of `op(A)`),
 /// otherwise into column panels (pairing with column panels of `op(B)`).
 /// Panel widths are derived from the matrix — about two panels per rayon
-/// thread, rounded up to a microkernel multiple ([`MR`] rows / [`NR`]
-/// columns) so no worker inherits a fringe-only panel. Matrices too small
+/// thread, rounded up to a multiple of the *dispatched* microkernel tile
+/// ([`crate::simd::kernel_shape`] rows/columns, so wide SIMD tiles don't
+/// fringe on every panel boundary) and no worker inherits a fringe-only
+/// panel. Matrices too small
 /// to split run the sequential engine directly; in particular a tall-skinny
 /// product (`n < 128`, large `m`) still uses every thread instead of
 /// serializing on a single 64-column panel.
@@ -48,7 +49,8 @@ pub fn par_gemm<T: Scalar>(
     }
     let tasks = 2 * rayon::current_num_threads().max(1);
     let split_rows = m > n;
-    let (dim, unit) = if split_rows { (m, MR) } else { (n, NR) };
+    let shape = crate::simd::kernel_shape::<T>(crate::simd::selected_isa());
+    let (dim, unit) = if split_rows { (m, shape.mr) } else { (n, shape.nr) };
     let panel = dim.div_ceil(tasks).next_multiple_of(unit);
     if panel >= dim {
         gemm(trans_a, trans_b, alpha, a, b, beta, c);

@@ -8,6 +8,38 @@ use std::fmt::{Debug, Display};
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 
+use crate::simd::{Isa, KernelShape};
+use crate::view::MatMut;
+
+/// Expands `$body` with `$MK` bound to the `f64` microkernel type for
+/// `$isa`. Variants whose kernel is not compiled for this target (or that
+/// have no SIMD kernel at all) bind the scalar fallback.
+macro_rules! with_f64_kernel {
+    ($isa:expr, $MK:ident, $body:block) => {
+        match $isa {
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx512 => {
+                type $MK = crate::simd::avx512::Avx512Mk;
+                $body
+            }
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx2 => {
+                type $MK = crate::simd::avx2::Avx2Mk;
+                $body
+            }
+            #[cfg(target_arch = "aarch64")]
+            Isa::Neon => {
+                type $MK = crate::simd::neon::NeonMk;
+                $body
+            }
+            _ => {
+                type $MK = crate::simd::scalar_mk::ScalarMk;
+                $body
+            }
+        }
+    };
+}
+
 /// A real floating-point element type usable by the kernels.
 pub trait Scalar:
     Copy
@@ -46,6 +78,52 @@ pub trait Scalar:
     fn sqrt(self) -> Self;
     /// `max` that propagates the larger value (inputs must not be NaN).
     fn max(self, other: Self) -> Self;
+
+    /// The microkernel geometry `isa` dispatches to for this scalar type
+    /// (requests with no kernel for this type/target report the scalar
+    /// fallback actually used). Prefer [`crate::simd::kernel_shape`].
+    #[doc(hidden)]
+    fn kernel_shape(isa: Isa) -> KernelShape;
+
+    /// Runs the blocked engine with `isa`'s microkernel. An unsupported
+    /// `isa` is demoted to the scalar kernel, so this is safe to call with
+    /// any value; [`crate::blocked::gemm_with`] is the only intended
+    /// caller and always passes [`crate::simd::selected_isa`].
+    #[doc(hidden)]
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_engine<OA, OB>(
+        isa: Isa,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: Self,
+        oa: OA,
+        ob: OB,
+        beta: Self,
+        c: MatMut<'_, Self>,
+    ) where
+        OA: Fn(usize, usize) -> Self,
+        OB: Fn(usize, usize) -> Self;
+
+    /// One bare full-tile microkernel invocation of `isa`'s kernel — the
+    /// hook behind [`crate::simd::run_tile`].
+    ///
+    /// # Safety
+    /// Same contract as `MicroKernel::tile` with `mr`/`nr` at the kernel's
+    /// full `MR`/`NR` (see [`crate::simd::kernel_shape`]), and the host
+    /// must support `isa`.
+    #[doc(hidden)]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn tile_raw(
+        isa: Isa,
+        kc: usize,
+        pa: *const Self,
+        pb: *const Self,
+        alpha: Self,
+        beta: Self,
+        c: *mut Self,
+        ld: usize,
+    );
 }
 
 impl Scalar for f64 {
@@ -74,6 +152,62 @@ impl Scalar for f64 {
     fn max(self, other: Self) -> Self {
         f64::max(self, other)
     }
+
+    fn kernel_shape(isa: Isa) -> KernelShape {
+        with_f64_kernel!(isa, MK, { crate::simd::shape_of::<f64, MK>() })
+    }
+
+    fn gemm_engine<OA, OB>(
+        isa: Isa,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: Self,
+        oa: OA,
+        ob: OB,
+        beta: Self,
+        c: MatMut<'_, Self>,
+    ) where
+        OA: Fn(usize, usize) -> Self,
+        OB: Fn(usize, usize) -> Self,
+    {
+        // Demote ISAs the host cannot execute (selected_isa never produces
+        // one, but this method is reachable with arbitrary values).
+        let isa = if crate::simd::supported_isas().contains(&isa) {
+            isa
+        } else {
+            Isa::Scalar
+        };
+        with_f64_kernel!(isa, MK, {
+            crate::blocked::engine::<f64, MK, OA, OB>(m, n, k, alpha, oa, ob, beta, c)
+        })
+    }
+
+    unsafe fn tile_raw(
+        isa: Isa,
+        kc: usize,
+        pa: *const Self,
+        pb: *const Self,
+        alpha: Self,
+        beta: Self,
+        c: *mut Self,
+        ld: usize,
+    ) {
+        use crate::simd::MicroKernel;
+        with_f64_kernel!(isa, MK, {
+            <MK as MicroKernel<f64>>::tile(
+                kc,
+                pa,
+                pb,
+                alpha,
+                beta,
+                c,
+                ld,
+                <MK as MicroKernel<f64>>::MR,
+                <MK as MicroKernel<f64>>::NR,
+            )
+        })
+    }
 }
 
 impl Scalar for f32 {
@@ -101,6 +235,47 @@ impl Scalar for f32 {
     #[inline]
     fn max(self, other: Self) -> Self {
         f32::max(self, other)
+    }
+
+    // The explicit SIMD kernels are f64-only (the paper's evaluation is
+    // FP64); f32 always rides the portable scalar kernel, whatever the
+    // requested ISA.
+    fn kernel_shape(_isa: Isa) -> KernelShape {
+        crate::simd::shape_of::<f32, crate::simd::scalar_mk::ScalarMk>()
+    }
+
+    fn gemm_engine<OA, OB>(
+        _isa: Isa,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: Self,
+        oa: OA,
+        ob: OB,
+        beta: Self,
+        c: MatMut<'_, Self>,
+    ) where
+        OA: Fn(usize, usize) -> Self,
+        OB: Fn(usize, usize) -> Self,
+    {
+        crate::blocked::engine::<f32, crate::simd::scalar_mk::ScalarMk, OA, OB>(
+            m, n, k, alpha, oa, ob, beta, c,
+        )
+    }
+
+    unsafe fn tile_raw(
+        _isa: Isa,
+        kc: usize,
+        pa: *const Self,
+        pb: *const Self,
+        alpha: Self,
+        beta: Self,
+        c: *mut Self,
+        ld: usize,
+    ) {
+        use crate::simd::MicroKernel;
+        type MK = crate::simd::scalar_mk::ScalarMk;
+        MK::tile(kc, pa, pb, alpha, beta, c, ld, <MK as MicroKernel<f32>>::MR, <MK as MicroKernel<f32>>::NR)
     }
 }
 

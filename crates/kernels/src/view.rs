@@ -223,6 +223,16 @@ impl<'a, T: Scalar> MatMut<'a, T> {
         self.set(i, j, f(v));
     }
 
+    /// Raw pointer to element `(i, j)` — the microkernel's store target.
+    /// Writes through it must stay within the view's `m × n` region.
+    #[inline]
+    pub(crate) fn ptr_at_mut(&mut self, i: usize, j: usize) -> *mut T {
+        debug_assert!(i < self.m && j < self.n);
+        // SAFETY: (i, j) is in bounds (debug-asserted / guaranteed by the
+        // engine's loop clips), so the offset stays inside the viewed region.
+        unsafe { self.ptr.add(i + j * self.ld) }
+    }
+
     /// Mutable column `j`.
     #[inline]
     pub fn col_mut(&mut self, j: usize) -> &mut [T] {

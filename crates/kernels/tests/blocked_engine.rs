@@ -3,12 +3,14 @@
 //! (`MR`/`NR` register tiles, `TB` triangular blocks, `MC`/`KC` cache
 //! blocks) — the shapes proptest's small sizes cannot reach.
 
+mod common;
+
 use xk_kernels::aux::{max_abs_diff, max_abs_diff_tri};
 use xk_kernels::parallel::{par_gemm, par_gemm_naive};
 use xk_kernels::reference as r;
 use xk_kernels::{
-    gemm, symm, syr2k, syrk, trmm, trsm, Diag, MatMut, MatRef, Side, Trans, Uplo, KC, MC, MR, NR,
-    TB,
+    gemm, kernel_shape, symm, syr2k, syrk, trmm, trsm, Diag, MatMut, MatRef, Side, Trans, Uplo,
+    MR, NR, TB,
 };
 
 const TOL: f64 = 1e-9;
@@ -27,22 +29,39 @@ fn det_vals(n: usize, seed: u64) -> Vec<f64> {
 }
 
 #[test]
-fn gemm_grid_all_trans_boundary_shapes() {
-    // Shapes straddling the register tile, the cache blocks, and fringes.
-    let shapes = [
-        (1, 1, 1),
-        (MR, NR, 8),
-        (MR + 1, NR + 1, 7),
-        (MC, NR, KC),
-        (MC + 1, 2 * NR + 3, KC + 1),
-        (MC - 1, 67, KC - 1),
-        (130, 132, 64),
-    ];
-    let scales = [(1.0, 0.0), (0.75, 1.0), (1.0, -0.5), (0.0, 2.0)];
-    for &(m, n, k) in &shapes {
+fn gemm_grid_all_trans_boundary_shapes_every_isa() {
+    // The grid runs once per host-supported ISA, with the boundary shapes
+    // derived from *that* kernel's dispatched register tile and cache
+    // blocks (they differ per ISA: e.g. AVX-512 uses an 8x8 tile with
+    // MC=256 where scalar uses 8x4 with MC=128).
+    common::for_each_supported_isa(|isa| {
+        let s = kernel_shape::<f64>(isa);
+        // Shapes straddling the register tile, the cache blocks, and fringes.
+        let shapes = [
+            (1, 1, 1),
+            (s.mr, s.nr, 8),
+            (s.mr + 1, s.nr + 1, 7),
+            (s.mc, s.nr, s.kc),
+            (s.mc + 1, 2 * s.nr + 3, s.kc + 1),
+            (s.mc - 1, 67, s.kc - 1),
+            (130, 132, 64),
+        ];
+        let scales = [(1.0, 0.0), (0.75, 1.0), (1.0, -0.5), (0.0, 2.0)];
+        gemm_grid(isa, &shapes, &scales);
+    });
+}
+
+/// Checks `gemm` against the naive reference for every transpose pair over
+/// a shape/scale grid, under whichever ISA is currently selected.
+fn gemm_grid(
+    isa: xk_kernels::Isa,
+    shapes: &[(usize, usize, usize)],
+    scales: &[(f64, f64)],
+) {
+    for &(m, n, k) in shapes {
         for ta in [Trans::No, Trans::Yes] {
             for tb in [Trans::No, Trans::Yes] {
-                for &(alpha, beta) in &scales {
+                for &(alpha, beta) in scales {
                     let (am, an) = match ta {
                         Trans::No => (m, k),
                         Trans::Yes => (k, m),
@@ -63,12 +82,65 @@ fn gemm_grid_all_trans_boundary_shapes() {
                     let d = max_abs_diff(MatRef::from_slice(&c, m, n, m), want.view());
                     assert!(
                         d < TOL,
-                        "gemm {m}x{n}x{k} {ta:?}/{tb:?} a={alpha} b={beta}: diff {d}"
+                        "gemm[{isa}] {m}x{n}x{k} {ta:?}/{tb:?} a={alpha} b={beta}: diff {d}"
                     );
                 }
             }
         }
     }
+}
+
+#[test]
+fn routines_beyond_gemm_every_isa() {
+    // A compact symm/syrk/syr2k/trmm/trsm sweep per supported ISA: all six
+    // routines route their bulk updates through the one dispatched engine,
+    // so each must hold under each kernel, not just under the default.
+    let (m, n) = (TB + 13, TB + 5);
+    common::for_each_supported_isa(|isa| {
+        let a = det_vals(m * m, 91);
+        let b = det_vals(m * n, 92);
+        let c0 = det_vals(m * n, 93);
+        let ar = MatRef::from_slice(&a, m, m, m);
+        let br = MatRef::from_slice(&b, m, n, m);
+
+        // symm (Left/Lower)
+        let want = r::ref_symm(Side::Left, Uplo::Lower, 0.75, ar, br, -0.5,
+            MatRef::from_slice(&c0, m, n, m));
+        let mut c = c0.clone();
+        symm(Side::Left, Uplo::Lower, 0.75, ar, br, -0.5, MatMut::from_slice(&mut c, m, n, m));
+        let d = max_abs_diff(MatRef::from_slice(&c, m, n, m), want.view());
+        assert!(d < TOL, "symm[{isa}]: diff {d}");
+
+        // syrk / syr2k (Lower, No)
+        let cs0 = det_vals(m * m, 94);
+        let want = r::ref_syrk(Trans::No, 0.75, br, -0.5, MatRef::from_slice(&cs0, m, m, m));
+        let mut cs = cs0.clone();
+        syrk(Uplo::Lower, Trans::No, 0.75, br, -0.5, MatMut::from_slice(&mut cs, m, m, m));
+        let d = max_abs_diff_tri(Uplo::Lower, MatRef::from_slice(&cs, m, m, m), want.view());
+        assert!(d < TOL, "syrk[{isa}]: diff {d}");
+
+        let b2 = det_vals(m * n, 95);
+        let b2r = MatRef::from_slice(&b2, m, n, m);
+        let want = r::ref_syr2k(Trans::No, 0.75, br, b2r, -0.5, MatRef::from_slice(&cs0, m, m, m));
+        let mut cs = cs0.clone();
+        syr2k(Uplo::Lower, Trans::No, 0.75, br, b2r, -0.5, MatMut::from_slice(&mut cs, m, m, m));
+        let d = max_abs_diff_tri(Uplo::Lower, MatRef::from_slice(&cs, m, m, m), want.view());
+        assert!(d < TOL, "syr2k[{isa}]: diff {d}");
+
+        // trmm / trsm round-trip (Left/Lower/No/NonUnit)
+        let mut tri = det_vals(m * m, 96);
+        for i in 0..m {
+            tri[i + i * m] = 4.0 + tri[i + i * m].abs();
+        }
+        let trir = MatRef::from_slice(&tri, m, m, m);
+        let mut x = b.clone();
+        trmm(Side::Left, Uplo::Lower, Trans::No, Diag::NonUnit, 2.0, trir,
+            MatMut::from_slice(&mut x, m, n, m));
+        trsm(Side::Left, Uplo::Lower, Trans::No, Diag::NonUnit, 0.5, trir,
+            MatMut::from_slice(&mut x, m, n, m));
+        let d = max_abs_diff(MatRef::from_slice(&x, m, n, m), br);
+        assert!(d < 1e-8, "trmm/trsm[{isa}] round-trip: diff {d}");
+    });
 }
 
 #[test]

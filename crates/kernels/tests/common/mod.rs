@@ -1,0 +1,66 @@
+//! Shared helpers for per-ISA integration testing.
+//!
+//! `XK_KERNEL_ISA` is process-global, and the dispatcher re-reads it on
+//! every entry call, so tests that pin an ISA must hold [`isa_lock`] for
+//! the duration of the pin — otherwise libtest's worker threads could
+//! observe each other's half-finished sweeps. Tests that do *not* pin the
+//! variable stay correct regardless (every supported ISA computes the same
+//! results within tolerance); they just might run under whichever ISA a
+//! concurrent sweep has pinned.
+#![allow(dead_code)]
+
+use std::env;
+use std::sync::{Mutex, MutexGuard};
+
+use xk_kernels::simd::supported_isas;
+use xk_kernels::{selected_isa, Isa, ISA_ENV};
+
+static ISA_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serialises access to the process-global `XK_KERNEL_ISA` variable.
+/// Survives a poisoned lock (a panicking test must not cascade).
+pub fn isa_lock() -> MutexGuard<'static, ()> {
+    ISA_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Restores the previous value of `XK_KERNEL_ISA` on drop, even if the
+/// guarded closure panics, so one failing case cannot leave the process
+/// pinned to a surprise ISA for every later test.
+pub struct EnvRestore {
+    saved: Option<String>,
+}
+
+impl EnvRestore {
+    pub fn capture() -> Self {
+        EnvRestore {
+            saved: env::var(ISA_ENV).ok(),
+        }
+    }
+}
+
+impl Drop for EnvRestore {
+    fn drop(&mut self) {
+        match self.saved.take() {
+            Some(v) => env::set_var(ISA_ENV, v),
+            None => env::remove_var(ISA_ENV),
+        }
+    }
+}
+
+/// Runs `f` once per host-supported ISA (always at least `Isa::Scalar`)
+/// with `XK_KERNEL_ISA` pinned to that ISA. Holds the global env lock for
+/// the whole sweep and restores the previous value afterwards.
+pub fn for_each_supported_isa(mut f: impl FnMut(Isa)) {
+    let _guard = isa_lock();
+    let _restore = EnvRestore::capture();
+    for &isa in supported_isas() {
+        env::set_var(ISA_ENV, isa.name());
+        assert_eq!(
+            selected_isa(),
+            isa,
+            "pinning {ISA_ENV}={} must select that ISA",
+            isa.name()
+        );
+        f(isa);
+    }
+}

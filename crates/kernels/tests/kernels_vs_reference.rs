@@ -1,5 +1,11 @@
 //! Property-based validation: every kernel, every parameter variant,
 //! random shapes and values, against the independent reference path.
+//!
+//! The GEMM properties additionally sweep every host-supported SIMD ISA
+//! per case (`common::for_each_supported_isa`), so random-shape coverage
+//! reaches each microkernel's fringe paths, not just the default dispatch.
+
+mod common;
 
 use proptest::prelude::*;
 use xk_kernels::aux::{max_abs_diff, max_abs_diff_tri};
@@ -48,10 +54,14 @@ proptest! {
         // Reference needs non-degenerate views; skip k=0 with transposes that
         // create 0-row storage (still exercised below with No/No).
         let want = r::ref_gemm(ta, tb, alpha, ar, br, beta, MatRef::from_slice(&c0, m, n, m));
-        let mut c = c0.clone();
-        gemm(ta, tb, alpha, ar, br, beta, MatMut::from_slice(&mut c, m, n, m));
-        let d = max_abs_diff(MatRef::from_slice(&c, m, n, m), want.view());
-        prop_assert!(d < TOL, "diff {d}");
+        // Panics inside the closure are still shrunk by proptest; the
+        // per-ISA sweep cannot return `Err` through `prop_assert!`.
+        common::for_each_supported_isa(|isa| {
+            let mut c = c0.clone();
+            gemm(ta, tb, alpha, ar, br, beta, MatMut::from_slice(&mut c, m, n, m));
+            let d = max_abs_diff(MatRef::from_slice(&c, m, n, m), want.view());
+            assert!(d < TOL, "gemm[{isa}]: diff {d}");
+        });
     }
 
     #[test]
@@ -235,10 +245,12 @@ proptest! {
         let ar = MatRef::from_slice(&a, am, an, am.max(1));
         let br = MatRef::from_slice(&b, bm, bn, bm.max(1));
         let want = r::ref_gemm(ta, tb, alpha, ar, br, beta, MatRef::from_slice(&c0, m, n, m));
-        let mut c = c0.clone();
-        gemm(ta, tb, alpha, ar, br, beta, MatMut::from_slice(&mut c, m, n, m));
-        let d = max_abs_diff(MatRef::from_slice(&c, m, n, m), want.view());
-        prop_assert!(d < TOL, "diff {d}");
+        common::for_each_supported_isa(|isa| {
+            let mut c = c0.clone();
+            gemm(ta, tb, alpha, ar, br, beta, MatMut::from_slice(&mut c, m, n, m));
+            let d = max_abs_diff(MatRef::from_slice(&c, m, n, m), want.view());
+            assert!(d < TOL, "gemm[{isa}]: diff {d}");
+        });
     }
 
     /// par_gemm (shape-adaptive panel split) agrees with sequential gemm on
