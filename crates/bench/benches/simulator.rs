@@ -1,9 +1,58 @@
 //! Discrete-event core throughput: event heap, engine reservations and
 //! trace span recording.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use xk_sim::{Clock, Duration, EnginePool, EventQueue, SimTime};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use xk_sim::{Clock, Duration, EnginePool, EventQueue, QueueBackend, SimTime};
 use xk_trace::{FlowId, Place, Span, SpanKind, Trace};
+
+/// Pre-fills `pending` uniform-random events for the hold benchmarks.
+fn prefilled(backend: QueueBackend, pending: usize) -> EventQueue<u64> {
+    let mut q = EventQueue::with_backend_capacity(backend, pending);
+    let mut x = 0x9e3779b97f4a7c15u64;
+    q.push_batch((0..pending as u64).map(|i| {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (SimTime::new((x >> 11) as f64 / (1u64 << 53) as f64), i)
+    }));
+    q
+}
+
+/// The classic hold model: `ops` pop-min / push-future pairs at a steady
+/// queue size.
+fn hold(q: &mut EventQueue<u64>, ops: u64) {
+    let mut x = 7u64;
+    for i in 0..ops {
+        let (t, _) = q.pop().expect("hold keeps the queue non-empty");
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let dt = (x >> 11) as f64 / (1u64 << 53) as f64;
+        q.push(SimTime::new(t.seconds() + dt), i);
+    }
+}
+
+/// Heap vs calendar at steady pending sizes 1e4 / 1e5 / 1e6: the shape the
+/// simulator's hot loop produces, reported per backend so regressions in
+/// either show up head-to-head.
+fn bench_queue_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue_hold");
+    group.sample_size(10);
+    const OPS: u64 = 200_000;
+    group.throughput(Throughput::Elements(2 * OPS));
+    for &pending in &[10_000usize, 100_000, 1_000_000] {
+        for backend in [QueueBackend::Heap, QueueBackend::Calendar] {
+            let name = format!("{backend:?}").to_lowercase();
+            group.bench_with_input(BenchmarkId::new(name, pending), &pending, |bench, &p| {
+                bench.iter_batched(
+                    || prefilled(backend, p),
+                    |mut q| {
+                        hold(&mut q, OPS);
+                        q
+                    },
+                    BatchSize::LargeInput,
+                );
+            });
+        }
+    }
+    group.finish();
+}
 
 fn bench_event_queue(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_queue");
@@ -130,5 +179,11 @@ fn bench_reservations(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_span_recording, bench_reservations);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_queue_backends,
+    bench_span_recording,
+    bench_reservations
+);
 criterion_main!(benches);

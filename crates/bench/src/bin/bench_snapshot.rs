@@ -12,12 +12,12 @@ use rayon::prelude::*;
 use xk_baselines::{Library, XkVariant};
 use xk_bench::graphgen::{build_gemm_graph_legacy, build_wide_dag, gemm_graph_shell, submit_gemm_tasks};
 use xk_bench::{sweep_series, sweep_series_par, RunCache, SeriesPoint, PAPER_DIMS_SMALL};
-use xk_runtime::run_parallel;
+use xk_runtime::{run_parallel, RuntimeConfig, SimExecutor, SimPrep};
 use xk_kernels::parallel::{par_fill_pattern, par_gemm, par_gemm_naive};
 use xk_kernels::{
     gemm, syrk, trsm, Diag, MatMut, MatRef, Routine, Side, Trans, Uplo,
 };
-use xk_sim::{EventQueue, SimTime};
+use xk_sim::{default_replica_threads, run_replicas, selected_backend, EventQueue, QueueBackend, SimTime};
 use xk_trace::SpanKind;
 
 const QUEUE_EVENTS: usize = 1_000_000;
@@ -30,9 +30,10 @@ const SWEEP_LIBS: [Library; 4] = [
     Library::XkBlas(XkVariant::NoHeuristicNoTopo),
 ];
 
-/// Push/pop throughput of the event queue at one million events.
-fn bench_event_queue() -> (f64, f64) {
-    let mut q = EventQueue::with_capacity(QUEUE_EVENTS);
+/// Wall time of one fill-then-drain pass over `QUEUE_EVENTS` events on the
+/// given backend.
+fn queue_fill_drain(backend: QueueBackend) -> f64 {
+    let mut q = EventQueue::with_backend_capacity(backend, QUEUE_EVENTS);
     let t0 = Instant::now();
     // Knuth-hash timestamps: scattered but reproducible.
     q.push_batch((0..QUEUE_EVENTS).map(|i| {
@@ -48,7 +49,118 @@ fn bench_event_queue() -> (f64, f64) {
         checksum,
         (QUEUE_EVENTS as u64 - 1) * QUEUE_EVENTS as u64 / 2
     );
-    (secs, QUEUE_EVENTS as f64 / secs)
+    secs
+}
+
+/// Wall time of the classic hold model: `pending` events stay queued while
+/// `total` events transit as pop-min / push-future pairs. `burst > 1`
+/// schedules groups of that many same-time events — the tie pattern the
+/// simulator's `pop_tied` exploration produces — which a binary heap pays
+/// a full sift per event for.
+fn queue_hold(backend: QueueBackend, pending: usize, burst: usize, total: u64) -> f64 {
+    let mut rng = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (rng >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut q = EventQueue::with_backend_capacity(backend, pending);
+    for g in 0..pending / burst {
+        let t = SimTime::new(next());
+        for i in 0..burst {
+            q.push(t, (g * burst + i) as u32);
+        }
+    }
+    let t0 = Instant::now();
+    let mut done = 0u64;
+    let mut checksum = 0u64;
+    while done < total {
+        let (t, e) = q.pop().expect("hold keeps the queue non-empty");
+        checksum = checksum.wrapping_add(e as u64);
+        let mut n = 1u64;
+        while q.peek_time() == Some(t) {
+            let (_, e) = q.pop().expect("peeked");
+            checksum = checksum.wrapping_add(e as u64);
+            n += 1;
+        }
+        done += n;
+        let nt = SimTime::new(t.seconds() + next());
+        for i in 0..n {
+            q.push(nt, i as u32);
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    std::hint::black_box(checksum);
+    secs
+}
+
+/// Heap-vs-calendar head-to-head over the three shapes the simulator
+/// exercises; each entry carries both timings and the resulting speedup.
+fn bench_event_queue() -> serde_json::Value {
+    let shape = |name: &str, events: u64, f: &dyn Fn(QueueBackend) -> f64| {
+        let heap = f(QueueBackend::Heap);
+        let calendar = f(QueueBackend::Calendar);
+        serde_json::json!({
+            "shape": name,
+            "events": events,
+            "heap_seconds": heap,
+            "heap_events_per_sec": events as f64 / heap,
+            "calendar_seconds": calendar,
+            "calendar_events_per_sec": events as f64 / calendar,
+            "calendar_speedup": heap / calendar,
+        })
+    };
+    const HOLD_EVENTS: u64 = 2_000_000;
+    serde_json::json!({
+        "default_backend": format!("{:?}", selected_backend()).to_lowercase(),
+        "fill_drain_1e6": shape("fill_drain_1e6", 2 * QUEUE_EVENTS as u64, &|b| {
+            queue_fill_drain(b)
+        }),
+        "hold_1e4": shape("hold_1e4", HOLD_EVENTS, &|b| queue_hold(b, 10_000, 1, HOLD_EVENTS)),
+        "hold_1e6": shape("hold_1e6", HOLD_EVENTS, &|b| {
+            queue_hold(b, 1_000_000, 1, HOLD_EVENTS)
+        }),
+        "tie_burst_1e5": shape("tie_burst_1e5", HOLD_EVENTS, &|b| {
+            queue_hold(b, 100_000, 16, HOLD_EVENTS)
+        }),
+    })
+}
+
+/// Cross-seed batch layer: K replicas of one ~4k-task GEMM simulation,
+/// serial per-replica prep vs the shared-[`SimPrep`] replica driver.
+fn bench_batch_replicas(topo: &xk_topo::Topology) -> serde_json::Value {
+    const NT: usize = 16; // 16^3 = 4096 tasks
+    const REPLICAS: usize = 24;
+    let (mut g, handles) = gemm_graph_shell(NT);
+    submit_gemm_tasks(&mut g, &handles, NT);
+    let cfg = RuntimeConfig::xkblas();
+
+    let t0 = Instant::now();
+    let serial: Vec<u64> = (0..REPLICAS)
+        .map(|_| SimExecutor::new(&g, topo, &cfg).run().makespan.to_bits())
+        .collect();
+    let serial_secs = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let prep = SimPrep::new(&g);
+    let batched: Vec<u64> = run_replicas(REPLICAS, 0, |_| {
+        SimExecutor::with_prep(&g, topo, &cfg, &prep)
+            .run()
+            .makespan
+            .to_bits()
+    });
+    let batch_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(serial, batched, "batch replicas diverged from serial runs");
+
+    serde_json::json!({
+        "replicas": REPLICAS,
+        "tasks_per_replica": NT * NT * NT,
+        "threads": default_replica_threads(),
+        "serial_seconds": serial_secs,
+        "serial_runs_per_sec": REPLICAS as f64 / serial_secs,
+        "batch_seconds": batch_secs,
+        "batch_runs_per_sec": REPLICAS as f64 / batch_secs,
+        "speedup": serial_secs / batch_secs,
+    })
 }
 
 /// Spans/second of one full GEMM simulation.
@@ -329,8 +441,11 @@ fn main() {
     let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sim.json".to_string());
     let topo = xk_topo::dgx1();
 
-    eprintln!("event queue: {QUEUE_EVENTS} events ...");
-    let (queue_secs, events_per_sec) = bench_event_queue();
+    eprintln!("event queue: heap vs calendar over {QUEUE_EVENTS}-event shapes ...");
+    let event_queue = bench_event_queue();
+
+    eprintln!("batch replicas: serial vs shared-prep driver ...");
+    let batch_replicas = bench_batch_replicas(&topo);
 
     eprintln!("single GEMM simulation ...");
     let (spans, sim_secs, spans_per_sec) = bench_gemm_sim(&topo, 16384, 2048);
@@ -381,11 +496,8 @@ fn main() {
     let stats = cache.stats();
 
     let snapshot = serde_json::json!({
-        "event_queue": {
-            "events": QUEUE_EVENTS,
-            "seconds": queue_secs,
-            "events_per_sec": events_per_sec,
-        },
+        "event_queue": event_queue,
+        "batch_replicas": batch_replicas,
         "gemm_sim": {
             "n": 16384,
             "tile": 2048,

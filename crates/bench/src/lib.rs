@@ -33,6 +33,6 @@ pub use report::{fmt_tflops, write_csv, write_result, Table};
 pub use runcache::{CacheStats, RunCache, RunKey};
 #[cfg(feature = "harness")]
 pub use sweep::{
-    best_tile_run, best_tile_run_with, sweep_series, sweep_series_par, SeriesPoint, PAPER_DIMS,
-    PAPER_DIMS_SMALL,
+    best_tile_run, best_tile_run_batch, best_tile_run_with, sweep_series, sweep_series_batch,
+    sweep_series_par, SeriesPoint, PAPER_DIMS, PAPER_DIMS_SMALL,
 };

@@ -124,6 +124,44 @@ pub fn best_tile_run_with(
     fold_best(outcomes)
 }
 
+/// [`best_tile_run_with`] fanned over the cross-seed replica driver
+/// ([`xk_sim::run_replicas`]) instead of the rayon pool: every tile
+/// candidate is one replica, `threads` caps the worker count (0 = all
+/// cores). Outcomes are placed by candidate index and reduced by the same
+/// strict-`>` fold as the serial loop, so the winner is bit-identical.
+pub fn best_tile_run_batch(
+    lib: Library,
+    topo: &Topology,
+    routine: Routine,
+    n: usize,
+    data_on_device: bool,
+    cache: Option<&RunCache>,
+    threads: usize,
+) -> Result<(usize, RunResult), RunError> {
+    let params = |tile: usize| RunParams {
+        routine,
+        n,
+        tile,
+        data_on_device,
+    };
+    let candidates: Vec<usize> = lib
+        .tile_candidates()
+        .iter()
+        .copied()
+        .filter(|&t| t <= n)
+        .collect();
+    if candidates.is_empty() {
+        let tile = n.max(1);
+        return run_point(lib, topo, &params(tile), cache).map(|r| (tile, r));
+    }
+    let outcomes: Vec<(usize, Result<RunResult, RunError>)> =
+        xk_sim::run_replicas(candidates.len(), threads, |i| {
+            let tile = candidates[i];
+            (tile, run_point(lib, topo, &params(tile), cache))
+        });
+    fold_best(outcomes)
+}
+
 /// Runs `lib` at dimension `n`, trying every candidate tile size and
 /// keeping the best (§IV-A block-size selection).
 pub fn best_tile_run(
@@ -186,6 +224,29 @@ pub fn sweep_series_par(
             )
         })
         .collect()
+}
+
+/// The replica-driver [`sweep_series`]: dimensions fan out as one replica
+/// each over [`xk_sim::run_replicas`] (`threads` = 0 uses every core), and
+/// each dimension evaluates its tile candidates serially inside its
+/// replica. Results are placed by dimension index, so the series is
+/// ordered like `dims` and bit-identical to the serial sweep.
+pub fn sweep_series_batch(
+    lib: Library,
+    topo: &Topology,
+    routine: Routine,
+    dims: &[usize],
+    data_on_device: bool,
+    cache: Option<&RunCache>,
+    threads: usize,
+) -> Vec<SeriesPoint> {
+    xk_sim::run_replicas(dims.len(), threads, |i| {
+        let n = dims[i];
+        to_point(
+            n,
+            best_tile_run_with(lib, topo, routine, n, data_on_device, cache, false),
+        )
+    })
 }
 
 #[cfg(test)]
@@ -274,5 +335,36 @@ mod tests {
             assert_eq!(a.tile, b.tile);
             assert_eq!(a.tflops.map(f64::to_bits), b.tflops.map(f64::to_bits));
         }
+    }
+
+    #[test]
+    fn batched_series_matches_serial() {
+        let topo = dgx1();
+        let dims = [4096, 8192, 16384];
+        let lib = Library::XkBlas(XkVariant::Full);
+        let s = sweep_series(lib, &topo, Routine::Gemm, &dims, false);
+        for threads in [1, 3] {
+            let b = sweep_series_batch(lib, &topo, Routine::Gemm, &dims, false, None, threads);
+            assert_eq!(s.len(), b.len());
+            for (a, b) in s.iter().zip(&b) {
+                assert_eq!(a.n, b.n);
+                assert_eq!(a.tile, b.tile);
+                assert_eq!(a.tflops.map(f64::to_bits), b.tflops.map(f64::to_bits));
+            }
+        }
+    }
+
+    #[test]
+    fn batched_best_tile_matches_serial() {
+        let topo = dgx1();
+        let lib = Library::XkBlas(XkVariant::Full);
+        let serial = best_tile_run(lib, &topo, Routine::Gemm, 8192, false).unwrap();
+        let batch = best_tile_run_batch(lib, &topo, Routine::Gemm, 8192, false, None, 2).unwrap();
+        assert_eq!(serial.0, batch.0);
+        assert_eq!(serial.1.tflops.to_bits(), batch.1.tflops.to_bits());
+        // The error paths agree with the serial reduction as well.
+        let e = best_tile_run_batch(lib, &topo, Routine::Syrk, 512, false, None, 2);
+        let se = best_tile_run(lib, &topo, Routine::Syrk, 512, false);
+        assert_eq!(e.map(|(t, _)| t), se.map(|(t, _)| t));
     }
 }

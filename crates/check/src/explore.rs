@@ -1,11 +1,21 @@
 //! Exploration loops: run many controlled schedules of one (graph,
 //! topology, config) scenario, feed every one through the differential
 //! oracle, and count distinct schedules by choice-log fingerprint.
+//!
+//! Seeds are independent replicas over shared immutable inputs, so the
+//! batched entry points ([`explore_random_batch`], [`explore_pct_batch`])
+//! fan them over `xk_sim::run_replicas` with one [`SimPrep`] hoisted out
+//! of the per-seed loop. Results come back indexed by seed position and
+//! are merged in that order, so a batched report is identical to the
+//! serial one — same `runs`, same `distinct` fingerprint count, same
+//! failures in the same order. The serial functions are the
+//! single-threaded special case of the batched ones.
 
 use std::collections::HashSet;
 
 use xk_runtime::cache::CoherenceMutation;
-use xk_runtime::{RuntimeConfig, SimExecutor, SimOutcome, TaskGraph};
+use xk_runtime::{RuntimeConfig, SimExecutor, SimOutcome, SimPrep, TaskGraph};
+use xk_sim::run_replicas;
 use xk_topo::Topology;
 
 use crate::controllers::{DfsController, RandomController, ReplayController};
@@ -78,6 +88,30 @@ fn structural_check(graph: &TaskGraph, out: &SimOutcome) -> Result<(), String> {
     Ok(())
 }
 
+/// Per-seed replica result: the SoA element [`run_replicas`] hands back in
+/// seed order (fingerprints and verdicts indexed by seed position).
+struct SeedResult {
+    fingerprint: u64,
+    failure: Option<Failure>,
+}
+
+/// Folds seed-ordered replica results into an [`ExploreReport`] exactly
+/// the way the serial loops do: runs counted, fingerprints deduplicated,
+/// failures kept in seed order.
+fn merge_seed_results(results: Vec<SeedResult>) -> ExploreReport {
+    let mut report = ExploreReport::default();
+    let mut fingerprints = HashSet::new();
+    for r in results {
+        report.runs += 1;
+        fingerprints.insert(r.fingerprint);
+        if let Some(f) = r.failure {
+            report.failures.push(f);
+        }
+    }
+    report.distinct = fingerprints.len();
+    report
+}
+
 /// Explores one random schedule per seed in `seeds`, checking each against
 /// the differential oracle. `mutation` injects a deliberate coherence bug
 /// (the oracle is then expected to report failures — that expectation is
@@ -89,23 +123,41 @@ pub fn explore_random(
     seeds: impl IntoIterator<Item = u64>,
     mutation: Option<CoherenceMutation>,
 ) -> ExploreReport {
-    let mut report = ExploreReport::default();
-    let mut fingerprints = HashSet::new();
-    for seed in seeds {
+    explore_random_batch(graph, topo, cfg, seeds, mutation, 1)
+}
+
+/// [`explore_random`] fanned over `threads` replica workers (0 = one per
+/// available core). Seeds are independent replicas of one prepared
+/// scenario; the report is identical to the serial one.
+pub fn explore_random_batch(
+    graph: &TaskGraph,
+    topo: &Topology,
+    cfg: &RuntimeConfig,
+    seeds: impl IntoIterator<Item = u64>,
+    mutation: Option<CoherenceMutation>,
+    threads: usize,
+) -> ExploreReport {
+    let seeds: Vec<u64> = seeds.into_iter().collect();
+    let prep = SimPrep::new(graph);
+    merge_seed_results(run_replicas(seeds.len(), threads, |i| {
+        let seed = seeds[i];
         let mut rng = RandomController::new(seed);
         let mut w = Witness::new(&mut rng);
-        let out = run_one(graph, topo, cfg, mutation, &mut w);
+        let mut ex = SimExecutor::with_prep(graph, topo, cfg, &prep);
+        if let Some(m) = mutation {
+            ex = ex.inject_cache_mutation(m);
+        }
+        let out = ex.control(&mut w).run();
         let verdict = structural_check(graph, &out)
             .and_then(|()| w.check(graph).map_err(|e| e.to_string()));
         let log = &rng.log;
-        report.runs += 1;
-        fingerprints.insert(log.fingerprint());
-        if let Err(error) = verdict {
-            report.failures.push(Failure { seed, choices: log.choices(), error });
+        SeedResult {
+            fingerprint: log.fingerprint(),
+            failure: verdict
+                .err()
+                .map(|error| Failure { seed, choices: log.choices(), error }),
         }
-    }
-    report.distinct = fingerprints.len();
-    report
+    }))
 }
 
 /// Like [`explore_random`] but with PCT-style controllers (hashed
@@ -118,22 +170,37 @@ pub fn explore_pct(
     seeds: impl IntoIterator<Item = u64>,
     change_every: u64,
 ) -> ExploreReport {
-    let mut report = ExploreReport::default();
-    let mut fingerprints = HashSet::new();
-    for seed in seeds {
+    explore_pct_batch(graph, topo, cfg, seeds, change_every, 1)
+}
+
+/// [`explore_pct`] fanned over `threads` replica workers (0 = one per
+/// available core), batched like [`explore_random_batch`].
+pub fn explore_pct_batch(
+    graph: &TaskGraph,
+    topo: &Topology,
+    cfg: &RuntimeConfig,
+    seeds: impl IntoIterator<Item = u64>,
+    change_every: u64,
+    threads: usize,
+) -> ExploreReport {
+    let seeds: Vec<u64> = seeds.into_iter().collect();
+    let prep = SimPrep::new(graph);
+    merge_seed_results(run_replicas(seeds.len(), threads, |i| {
+        let seed = seeds[i];
         let mut pct = crate::controllers::PctController::new(seed, change_every);
         let mut w = Witness::new(&mut pct);
-        let out = run_one(graph, topo, cfg, None, &mut w);
+        let out = SimExecutor::with_prep(graph, topo, cfg, &prep)
+            .control(&mut w)
+            .run();
         let verdict = structural_check(graph, &out)
             .and_then(|()| w.check(graph).map_err(|e| e.to_string()));
-        report.runs += 1;
-        fingerprints.insert(pct.log.fingerprint());
-        if let Err(error) = verdict {
-            report.failures.push(Failure { seed, choices: pct.log.choices(), error });
+        SeedResult {
+            fingerprint: pct.log.fingerprint(),
+            failure: verdict
+                .err()
+                .map(|error| Failure { seed, choices: pct.log.choices(), error }),
         }
-    }
-    report.distinct = fingerprints.len();
-    report
+    }))
 }
 
 /// Enumerates the choice tree depth-first, up to `max_runs` schedules,
@@ -227,6 +294,23 @@ mod tests {
         assert!(r.exhausted, "tiny tree not exhausted in {} runs", r.runs);
         assert_eq!(r.distinct, r.runs, "DFS repeated a schedule");
         assert!(r.failures.is_empty(), "failures: {:?}", r.failures);
+    }
+
+    #[test]
+    fn batched_exploration_matches_serial() {
+        let g = build_random_dag(5, &RandomDagSpec::default());
+        let topo = xk_topo::dgx1();
+        let cfg = RuntimeConfig::default();
+        let serial = explore_random(&g, &topo, &cfg, 0..24, None);
+        let batched = explore_random_batch(&g, &topo, &cfg, 0..24, None, 4);
+        assert_eq!(serial.runs, batched.runs);
+        assert_eq!(serial.distinct, batched.distinct);
+        assert_eq!(serial.failures.len(), batched.failures.len());
+        let sp = explore_pct(&g, &topo, &cfg, 0..12, 7);
+        let bp = explore_pct_batch(&g, &topo, &cfg, 0..12, 7, 4);
+        assert_eq!(sp.runs, bp.runs);
+        assert_eq!(sp.distinct, bp.distinct);
+        assert_eq!(sp.failures.len(), bp.failures.len());
     }
 
     #[test]

@@ -37,7 +37,8 @@ pub use controllers::{
     SplitMix64,
 };
 pub use explore::{
-    explore_dfs, explore_pct, explore_random, replay, DfsReport, ExploreReport, Failure,
+    explore_dfs, explore_pct, explore_pct_batch, explore_random, explore_random_batch, replay,
+    DfsReport, ExploreReport, Failure,
 };
 pub use shrink::{load_regressions, shrink_case, write_regression, ReplayCase};
 pub use witness::{Witness, WitnessError};

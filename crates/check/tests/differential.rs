@@ -7,10 +7,15 @@
 //! acceptance bar is at least 1000 *distinct* schedules per (DAG, config)
 //! with zero oracle failures. A failure prints its seed and choice string,
 //! which `xk_check::replay` reproduces exactly.
+//!
+//! Seeds fan out over the batch replica driver (one worker per core,
+//! shared graph/topology/prep) — reports are identical to the serial
+//! loops, which `serial_and_batched_reports_agree` pins on a full matrix
+//! cell.
 
 use xk_bench::graphgen::{build_random_dag, RandomDagSpec};
 use xk_check::topo_util::subtopo;
-use xk_check::{explore_pct, explore_random, Failure};
+use xk_check::{explore_pct_batch, explore_random, explore_random_batch, Failure};
 use xk_runtime::{Heuristics, RuntimeConfig};
 
 /// Seeds per configuration — a little headroom above the 1000-distinct
@@ -47,7 +52,7 @@ fn sweep(dag_seed: u64, h: Heuristics) {
         let topo = subtopo(&full, n_gpus);
         for on_device in [None, Some(n_gpus)] {
             let g = build_random_dag(dag_seed, &spec(on_device));
-            let r = explore_random(&g, &topo, &cfg, seeds(), None);
+            let r = explore_random_batch(&g, &topo, &cfg, seeds(), None, 0);
             let place = on_device.map_or("host", |_| "device");
             assert!(
                 r.failures.is_empty(),
@@ -101,7 +106,7 @@ fn pct_style_exploration_passes_the_oracle() {
     let cfg = RuntimeConfig::default();
     let g = build_random_dag(1, &spec(Some(8)));
     for change_every in [1u64, 7, 64] {
-        let r = explore_pct(&g, &topo, &cfg, 0..200, change_every);
+        let r = explore_pct_batch(&g, &topo, &cfg, 0..200, change_every, 0);
         assert!(
             r.failures.is_empty(),
             "PCT change_every={change_every}: {:#?}",
@@ -109,4 +114,18 @@ fn pct_style_exploration_passes_the_oracle() {
         );
         assert!(r.distinct > 100, "PCT degenerate: {} distinct", r.distinct);
     }
+}
+
+#[test]
+fn serial_and_batched_reports_agree() {
+    // One matrix cell, both drivers: the batched fan-out must reproduce
+    // the serial report exactly (runs, distinct fingerprints, failures).
+    let topo = subtopo(&xk_topo::dgx1(), 4);
+    let cfg = RuntimeConfig::default().with_heuristics(Heuristics::full());
+    let g = build_random_dag(1, &spec(Some(4)));
+    let serial = explore_random(&g, &topo, &cfg, 0..64, None);
+    let batched = explore_random_batch(&g, &topo, &cfg, 0..64, None, 0);
+    assert_eq!(serial.runs, batched.runs);
+    assert_eq!(serial.distinct, batched.distinct);
+    assert!(serial.failures.is_empty() && batched.failures.is_empty());
 }

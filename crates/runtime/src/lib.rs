@@ -69,5 +69,5 @@ pub use session::{Run, SimSession};
 #[allow(deprecated)]
 pub use sim_exec::{measure_bandwidth_matrix, simulate};
 pub use par_exec::run_controlled;
-pub use sim_exec::{LinkFault, SimExecutor, SimOutcome};
+pub use sim_exec::{LinkFault, SimExecutor, SimOutcome, SimPrep};
 pub use task::{Access, Task, TaskAccess, TaskAccesses, TaskId, TaskKind, TaskLabel};

@@ -182,11 +182,78 @@ pub struct SimExecutor<'a> {
     steals: usize,
 }
 
+/// Shared per-graph precomputation for batched replica runs.
+///
+/// `SimExecutor::new` re-derives the same graph-shaped vectors — rendered
+/// task labels, final-writer table, predecessor counts — on every run. A
+/// seed matrix or tile sweep runs the *same* graph hundreds of times, so
+/// [`SimPrep::new`] hoists that work out once and
+/// [`SimExecutor::with_prep`] stamps executors from it (a few memcpys per
+/// replica). Prep is plain immutable data: one instance is shared by
+/// reference across replica threads.
+///
+/// Byte-identity: `with_prep` interns the pre-rendered labels in exactly
+/// the order `new` renders them (tasks first, then data handles), so
+/// traces — and therefore whole simulations — are unchanged.
+pub struct SimPrep {
+    /// Task labels rendered from their lazy patterns, indexed by `TaskId.0`.
+    task_label_strings: Vec<String>,
+    /// Final writer of each handle, indexed by `HandleId.0`.
+    final_writer: Vec<Option<TaskId>>,
+    /// Unsatisfied-predecessor counts, indexed by `TaskId.0`.
+    pending: Vec<usize>,
+}
+
+impl SimPrep {
+    /// Precomputes the graph-shaped run state (and finalizes the graph's
+    /// successor CSR, so replica threads never race to build it).
+    pub fn new(graph: &TaskGraph) -> Self {
+        graph.finalize();
+        let mut final_writer = vec![None; graph.data().len()];
+        for task in graph.tasks() {
+            for h in task.written_handles() {
+                final_writer[h.0] = Some(task.id);
+            }
+        }
+        let mut label_buf = String::new();
+        let task_label_strings: Vec<String> = graph
+            .tasks()
+            .iter()
+            .map(|t| {
+                label_buf.clear();
+                t.label.render_into(&mut label_buf);
+                label_buf.clone()
+            })
+            .collect();
+        SimPrep {
+            task_label_strings,
+            final_writer,
+            pending: graph.pred_counts().collect(),
+        }
+    }
+}
+
 impl<'a> SimExecutor<'a> {
     /// Prepares an executor for one run.
+    ///
+    /// For batched replica runs over one graph, build a [`SimPrep`] once
+    /// and use [`SimExecutor::with_prep`] instead — this constructor
+    /// derives the same state from scratch every call.
     pub fn new(graph: &'a TaskGraph, topo: &'a Topology, cfg: &'a RuntimeConfig) -> Self {
-        // Build the successor CSR once, before the event loop needs it.
-        graph.finalize();
+        Self::with_prep(graph, topo, cfg, &SimPrep::new(graph))
+    }
+
+    /// Prepares an executor for one run from shared precomputed state.
+    ///
+    /// `prep` must have been built from this same `graph`; the executor is
+    /// byte-identical to one from [`SimExecutor::new`].
+    pub fn with_prep(
+        graph: &'a TaskGraph,
+        topo: &'a Topology,
+        cfg: &'a RuntimeConfig,
+        prep: &SimPrep,
+    ) -> Self {
+        debug_assert_eq!(prep.pending.len(), graph.len(), "prep built from another graph?");
         let n = topo.n_gpus();
         let mut pool = EnginePool::new();
         let gpus = (0..n)
@@ -217,26 +284,16 @@ impl<'a> SimExecutor<'a> {
             nvlinks[b * n + a] = Some(pool.add(format!("nvlink{b}->{a}")));
         }
         let cache = SoftwareCache::new(n, cfg.gpu_memory, graph.data());
-        let mut final_writer = vec![None; graph.data().len()];
-        for task in graph.tasks() {
-            for h in task.written_handles() {
-                final_writer[h.0] = Some(task.id);
-            }
-        }
         // Intern every label up front: the event loop then records spans
-        // with a copyable u32 instead of cloning a String per span. Labels
-        // are stored as lazy patterns; render each into one reused buffer
-        // (same text, same interning order as the eager-String era).
+        // with a copyable u32 instead of cloning a String per span. The
+        // prep holds the rendered pattern text; interning here follows the
+        // exact order the eager-String era used (tasks first, then data
+        // handles), keeping traces bit-identical.
         let mut trace = Trace::new();
-        let mut label_buf = String::new();
-        let task_labels: Vec<Label> = graph
-            .tasks()
+        let task_labels: Vec<Label> = prep
+            .task_label_strings
             .iter()
-            .map(|t| {
-                label_buf.clear();
-                t.label.render_into(&mut label_buf);
-                trace.intern(&label_buf)
-            })
+            .map(|s| trace.intern(s))
             .collect();
         let data_labels: Vec<Label> = (0..graph.data().len())
             .map(|i| trace.intern(&graph.data().info(HandleId(i)).label))
@@ -259,12 +316,15 @@ impl<'a> SimExecutor<'a> {
             nvlinks,
             cache,
             // Each task typically produces a TaskDone plus a handful of
-            // TryLaunch events; pre-reserving avoids heap regrowth mid-run.
+            // TryLaunch events; pre-reserving avoids queue regrowth
+            // mid-run (the heap backend sizes its array, the calendar
+            // backend its bucket ring — see `xk_sim::selected_backend`
+            // for how `XK_EVENT_QUEUE` picks between them).
             clock: Clock::with_capacity(graph.len().saturating_mul(4).max(64)),
-            pending: graph.pred_counts().collect(),
+            pending: prep.pending.clone(),
             assigned_to: vec![None; graph.len()],
             prefetched: vec![None; graph.len()],
-            final_writer,
+            final_writer: prep.final_writer.clone(),
             committed: vec![0.0; n],
             submission_cursor: SimTime::ZERO,
             scheduler: make_scheduler(cfg.scheduler, n),

@@ -8,8 +8,12 @@
 //! `xk-baselines` are built on three primitives:
 //!
 //! * [`SimTime`] / [`Duration`] — totally ordered `f64` seconds.
-//! * [`Clock`] / [`EventQueue`] — a deterministic event heap with FIFO
+//! * [`Clock`] / [`EventQueue`] — a deterministic event queue with FIFO
 //!   tie-breaking, so identical inputs always produce identical traces.
+//!   Two pop-identical backends (calendar queue and binary heap) are
+//!   selectable via the `XK_EVENT_QUEUE` environment variable; see
+//!   [`selected_backend`]. [`run_replicas`] fans independent replica
+//!   simulations (seed sweeps, tile sweeps) over a worker pool.
 //! * [`EnginePool`] — resources (copy engines, kernel streams, PCIe
 //!   switches) that execute one operation at a time, with *joint
 //!   reservations* for operations that hold several resources at once.
@@ -35,12 +39,15 @@
 
 #![warn(missing_docs)]
 
+mod batch;
+mod calendar;
 mod engine;
 mod event;
 mod stats;
 mod time;
 
+pub use batch::{default_replica_threads, run_replicas};
 pub use engine::{EngineId, EnginePool, Reservation};
-pub use event::{Clock, EventQueue};
+pub use event::{selected_backend, Clock, EventQueue, QueueBackend, QUEUE_ENV};
 pub use stats::{imbalance, Summary};
 pub use time::{Duration, SimTime};

@@ -1,7 +1,36 @@
-//! Property-based tests of the DES core invariants.
+//! Property-based tests of the DES core invariants, including the
+//! heap-vs-calendar differential property (the shrinking twin of the
+//! deterministic lockstep scripts in `tests/queue_diff.rs`).
 
 use proptest::prelude::*;
-use xk_sim::{Clock, Duration, EnginePool, SimTime};
+use xk_sim::{Clock, Duration, EnginePool, EventQueue, QueueBackend, SimTime};
+
+/// One step of a differential op script. Times mix a dense uniform range,
+/// coarse quantized values (same-time tie bursts) and far-future outliers
+/// (overflow-ladder residents) — the distributions a calendar queue finds
+/// adversarial.
+#[derive(Clone, Debug)]
+enum QOp {
+    Push(f64),
+    PushBurst(u8, u8),
+    Pop,
+    PopTied(u64),
+    Peek,
+}
+
+fn qop() -> impl Strategy<Value = QOp> {
+    prop_oneof![
+        4 => prop_oneof![
+            3 => 0.0f64..1.0,
+            2 => (0u8..8).prop_map(|q| f64::from(q) * 0.25),
+            1 => 1e6f64..1e12,
+        ].prop_map(QOp::Push),
+        1 => (0u8..8, 1u8..16).prop_map(|(q, n)| QOp::PushBurst(q, n)),
+        3 => Just(QOp::Pop),
+        2 => any::<u64>().prop_map(QOp::PopTied),
+        1 => Just(QOp::Peek),
+    ]
+}
 
 proptest! {
     /// Events always pop in non-decreasing time order regardless of the
@@ -66,6 +95,61 @@ proptest! {
         // With all ops requested at t=0, a single engine back-to-back
         // schedule means free_at == total busy time.
         prop_assert!((pool.free_at(e).seconds() - total).abs() < 1e-6);
+    }
+
+    /// The calendar backend is bit-for-bit interchangeable with the binary
+    /// heap: any interleaving of pushes (dense, tied, far-future), pops,
+    /// tied pops with arbitrary picks and peeks observes identical results
+    /// from both, and both drain to identical tails.
+    #[test]
+    fn calendar_matches_heap_bit_for_bit(ops in proptest::collection::vec(qop(), 1..400)) {
+        let mut heap = EventQueue::with_backend(QueueBackend::Heap);
+        let mut cal = EventQueue::with_backend(QueueBackend::Calendar);
+        let mut next_id: u64 = 0;
+        for op in &ops {
+            match *op {
+                QOp::Push(t) => {
+                    let t = SimTime::new(t);
+                    heap.push(t, next_id);
+                    cal.push(t, next_id);
+                    next_id += 1;
+                }
+                QOp::PushBurst(q, n) => {
+                    // Same-time burst through the batch path.
+                    let t = SimTime::new(f64::from(q) * 0.25);
+                    let batch: Vec<(SimTime, u64)> =
+                        (0..u64::from(n)).map(|i| (t, next_id + i)).collect();
+                    next_id += u64::from(n);
+                    heap.push_batch(batch.iter().copied());
+                    cal.push_batch(batch);
+                }
+                QOp::Pop => prop_assert_eq!(heap.pop(), cal.pop()),
+                QOp::PopTied(pick) => {
+                    let mut sizes = (None, None);
+                    let h = heap.pop_tied(&mut |n| {
+                        sizes.0 = Some(n);
+                        (pick % n as u64) as usize
+                    });
+                    let c = cal.pop_tied(&mut |n| {
+                        sizes.1 = Some(n);
+                        (pick % n as u64) as usize
+                    });
+                    prop_assert_eq!(h, c);
+                    prop_assert_eq!(sizes.0, sizes.1, "tie-group sizes diverged");
+                }
+                QOp::Peek => {
+                    prop_assert_eq!(heap.peek_time(), cal.peek_time());
+                    prop_assert_eq!(heap.len(), cal.len());
+                }
+            }
+        }
+        loop {
+            let (h, c) = (heap.pop(), cal.pop());
+            prop_assert_eq!(&h, &c, "drain tail diverged");
+            if h.is_none() {
+                break;
+            }
+        }
     }
 }
 

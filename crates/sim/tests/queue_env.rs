@@ -1,0 +1,119 @@
+//! `XK_EVENT_QUEUE` selection semantics, mirroring the kernel crate's
+//! `XK_KERNEL_ISA` contract (`crates/kernels/tests/isa_dispatch.rs`):
+//! unset/empty/`auto` pick the best backend, explicit names pin, a
+//! valid-but-unavailable name falls back to the conservative heap oracle
+//! (never a *different* accelerated backend — pinned CI legs must stay
+//! pinned), and garbage panics loudly.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use xk_sim::{selected_backend, Clock, EventQueue, QueueBackend, SimTime, QUEUE_ENV};
+
+/// Serializes tests that touch the process-wide environment.
+fn env_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+/// Restores the ambient `XK_EVENT_QUEUE` value on drop, so test order
+/// never leaks backend pins between tests.
+struct EnvRestore(Option<String>);
+
+impl EnvRestore {
+    fn capture() -> Self {
+        EnvRestore(std::env::var(QUEUE_ENV).ok())
+    }
+}
+
+impl Drop for EnvRestore {
+    fn drop(&mut self) {
+        match &self.0 {
+            Some(v) => std::env::set_var(QUEUE_ENV, v),
+            None => std::env::remove_var(QUEUE_ENV),
+        }
+    }
+}
+
+#[test]
+fn env_selection_semantics() {
+    let _guard = env_lock();
+    let _restore = EnvRestore::capture();
+
+    std::env::remove_var(QUEUE_ENV);
+    assert_eq!(
+        selected_backend(),
+        QueueBackend::Calendar,
+        "unset picks the calendar"
+    );
+    std::env::set_var(QUEUE_ENV, "auto");
+    assert_eq!(
+        selected_backend(),
+        QueueBackend::Calendar,
+        "auto picks the calendar"
+    );
+    std::env::set_var(QUEUE_ENV, "");
+    assert_eq!(
+        selected_backend(),
+        QueueBackend::Calendar,
+        "empty picks the calendar"
+    );
+
+    std::env::set_var(QUEUE_ENV, "calendar");
+    assert_eq!(selected_backend(), QueueBackend::Calendar);
+    std::env::set_var(QUEUE_ENV, "heap");
+    assert_eq!(selected_backend(), QueueBackend::Heap, "heap always pins");
+    std::env::set_var(QUEUE_ENV, "HEAP");
+    assert_eq!(
+        selected_backend(),
+        QueueBackend::Heap,
+        "names are case-insensitive"
+    );
+
+    // `ladder` names a backend this build does not provide: it must fall
+    // back to the heap oracle, not to the calendar under test.
+    std::env::set_var(QUEUE_ENV, "ladder");
+    assert_eq!(
+        selected_backend(),
+        QueueBackend::Heap,
+        "valid-but-unavailable falls back to the heap oracle"
+    );
+
+    std::env::set_var(QUEUE_ENV, "splay-tree");
+    let prev_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let result = panic::catch_unwind(AssertUnwindSafe(selected_backend));
+    panic::set_hook(prev_hook);
+    assert!(result.is_err(), "garbage backend name must panic");
+}
+
+/// Queues and clocks read the variable at construction time, so a test (or
+/// CI leg) that pins the env gets the pinned backend for every queue it
+/// builds afterwards — and explicit constructors ignore the env entirely.
+#[test]
+fn constructors_honor_and_override_the_env() {
+    let _guard = env_lock();
+    let _restore = EnvRestore::capture();
+
+    std::env::set_var(QUEUE_ENV, "heap");
+    assert_eq!(EventQueue::<u8>::new().backend(), QueueBackend::Heap);
+    assert_eq!(
+        EventQueue::<u8>::with_capacity(64).backend(),
+        QueueBackend::Heap
+    );
+    std::env::set_var(QUEUE_ENV, "calendar");
+    assert_eq!(EventQueue::<u8>::new().backend(), QueueBackend::Calendar);
+    assert_eq!(
+        EventQueue::<u8>::with_backend(QueueBackend::Heap).backend(),
+        QueueBackend::Heap,
+        "explicit constructor ignores the env"
+    );
+
+    // A pinned clock still delivers events; selection never changes
+    // behavior, only the storage underneath.
+    let mut c: Clock<u32> = Clock::with_backend_capacity(QueueBackend::Heap, 4);
+    c.schedule(SimTime::new(1.0), 7);
+    assert_eq!(c.next(), Some((SimTime::new(1.0), 7)));
+}
