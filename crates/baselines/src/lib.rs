@@ -19,7 +19,7 @@ mod xkblas_like;
 pub use conversion::layout_conversion_seconds;
 pub use cublasxt::run_cublasxt;
 pub use slate::run_slate;
-pub use xkblas_like::{build_routine_graph, run_on_runtime};
+pub use xkblas_like::{build_routine_graph, build_run_graph, run_on_runtime, run_prepped};
 
 use xk_kernels::Routine;
 use xk_runtime::{Heuristics, ObsReport, RuntimeConfig, SchedulerKind};
@@ -61,6 +61,25 @@ pub enum XkVariant {
     NoHeuristic,
     /// Both disabled ("XKBlas, no heuristic, no topo").
     NoHeuristicNoTopo,
+}
+
+impl XkVariant {
+    /// The heuristic set this Fig. 3 ablation simulates under.
+    pub fn heuristics(self) -> Heuristics {
+        match self {
+            XkVariant::Full => Heuristics::full(),
+            XkVariant::NoHeuristic => Heuristics::no_optimistic(),
+            XkVariant::NoHeuristicNoTopo => Heuristics::none(),
+        }
+    }
+
+    /// The complete runtime configuration of this variant — the exact
+    /// config [`run`] uses, exposed so batched drivers (xk-serve) can
+    /// simulate a shared graph under each variant without duplicating the
+    /// mapping.
+    pub fn runtime_config(self) -> RuntimeConfig {
+        RuntimeConfig::xkblas().with_heuristics(self.heuristics())
+    }
 }
 
 impl Library {
@@ -153,13 +172,7 @@ pub fn run(lib: Library, topo: &Topology, params: &RunParams) -> Result<RunResul
     }
     match lib {
         Library::XkBlas(variant) => {
-            let heuristics = match variant {
-                XkVariant::Full => Heuristics::full(),
-                XkVariant::NoHeuristic => Heuristics::no_optimistic(),
-                XkVariant::NoHeuristicNoTopo => Heuristics::none(),
-            };
-            let cfg = RuntimeConfig::xkblas().with_heuristics(heuristics);
-            Ok(run_on_runtime(topo, params, cfg, false))
+            Ok(run_on_runtime(topo, params, variant.runtime_config(), false))
         }
         Library::ChameleonTile => Ok(run_chameleon(topo, params, true)),
         Library::ChameleonLapack => {

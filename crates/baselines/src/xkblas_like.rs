@@ -73,6 +73,50 @@ pub fn run_on_runtime(
     outcome_to_result(sim, params)
 }
 
+/// Builds the task graph of one routine call exactly as [`run_on_runtime`]
+/// would, returning it unexecuted.
+///
+/// The graph depends on `cfg` only through `eager_flush` (whether a final
+/// per-tile coherency flush is appended), never on the scheduler or
+/// heuristic fields — so one graph built here can be simulated under every
+/// [`crate::XkVariant`] configuration via [`run_prepped`], sharing the
+/// hoisted [`xk_runtime::SimPrep`] across those runs.
+pub fn build_run_graph(
+    topo: &Topology,
+    params: &RunParams,
+    cfg: &RuntimeConfig,
+    tile_layout: bool,
+) -> xk_runtime::TaskGraph {
+    let mut ctx = Context::<f64>::new(topo.clone(), cfg.clone(), params.tile);
+    ctx.set_simulation_only(true);
+    ctx.set_tile_layout(tile_layout);
+    let out = build_routine_graph(&mut ctx, params.routine, params.n, params.data_on_device);
+    if !params.data_on_device && !ctx.config().eager_flush {
+        ctx.memory_coherent_async(&out);
+    }
+    ctx.finish_graph()
+}
+
+/// Simulates a pre-built routine graph under `cfg` with shared per-graph
+/// prep: the timing, byte counters and observability are byte-identical to
+/// [`run_on_runtime`] with the same parameters (only the process-global
+/// matrix ids inside trace labels differ, as they do between any two
+/// context builds).
+pub fn run_prepped(
+    topo: &Topology,
+    params: &RunParams,
+    cfg: RuntimeConfig,
+    graph: &xk_runtime::TaskGraph,
+    prep: &xk_runtime::SimPrep,
+) -> RunResult {
+    let sim = xk_runtime::SimSession::on(topo)
+        .config(cfg)
+        .observe(ObsLevel::Full)
+        .run_prepped(graph, prep)
+        .into_outcome();
+    outcome_to_result(sim, params)
+}
+
 /// Converts a simulation outcome into the harness result type.
 pub fn outcome_to_result(sim: SimOutcome, params: &RunParams) -> RunResult {
     let flops = params.routine.flops_square(params.n as u64);
@@ -108,6 +152,37 @@ mod tests {
             assert!(r.tflops > 0.1, "{routine:?} unreasonably slow");
             assert!(r.bytes_h2d > 0, "{routine:?} must read inputs");
             assert!(r.bytes_d2h > 0, "{routine:?} must return the result");
+        }
+    }
+
+    #[test]
+    fn prepped_run_matches_run_on_runtime() {
+        let topo = dgx1();
+        let params = RunParams {
+            routine: Routine::Syr2k,
+            n: 4096,
+            tile: 1024,
+            data_on_device: false,
+        };
+        // One graph, three heuristic variants: each prepped run must be
+        // byte-identical in timing and counters to the standalone path.
+        let base = crate::XkVariant::Full.runtime_config();
+        let graph = build_run_graph(&topo, &params, &base, false);
+        let prep = xk_runtime::SimPrep::new(&graph);
+        for variant in [
+            crate::XkVariant::Full,
+            crate::XkVariant::NoHeuristic,
+            crate::XkVariant::NoHeuristicNoTopo,
+        ] {
+            let cfg = variant.runtime_config();
+            let direct = run_on_runtime(&topo, &params, cfg.clone(), false);
+            let prepped = run_prepped(&topo, &params, cfg, &graph, &prep);
+            assert_eq!(direct.seconds.to_bits(), prepped.seconds.to_bits(), "{variant:?}");
+            assert_eq!(direct.tflops.to_bits(), prepped.tflops.to_bits(), "{variant:?}");
+            assert_eq!(direct.bytes_h2d, prepped.bytes_h2d, "{variant:?}");
+            assert_eq!(direct.bytes_d2h, prepped.bytes_d2h, "{variant:?}");
+            assert_eq!(direct.bytes_p2p, prepped.bytes_p2p, "{variant:?}");
+            assert_eq!(direct.trace.len(), prepped.trace.len(), "{variant:?}");
         }
     }
 

@@ -140,16 +140,32 @@ fn bench_batch_replicas(topo: &xk_topo::Topology) -> serde_json::Value {
         .collect();
     let serial_secs = t0.elapsed().as_secs_f64();
 
-    let t0 = Instant::now();
+    // Thread sweep: the same batch at 1, 2, 4 and all-cores workers (0),
+    // each checked bit-identical against the serial reference.
     let prep = SimPrep::new(&g);
-    let batched: Vec<u64> = run_replicas(REPLICAS, 0, |_| {
-        SimExecutor::with_prep(&g, topo, &cfg, &prep)
-            .run()
-            .makespan
-            .to_bits()
-    });
-    let batch_secs = t0.elapsed().as_secs_f64();
-    assert_eq!(serial, batched, "batch replicas diverged from serial runs");
+    let mut sweep = Vec::new();
+    let mut default_batch_secs = f64::NAN;
+    for threads in [1usize, 2, 4, 0] {
+        let t0 = Instant::now();
+        let batched: Vec<u64> = run_replicas(REPLICAS, threads, |_| {
+            SimExecutor::with_prep(&g, topo, &cfg, &prep)
+                .run()
+                .makespan
+                .to_bits()
+        });
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(serial, batched, "batch replicas diverged from serial runs");
+        if threads == 0 {
+            default_batch_secs = secs;
+        }
+        sweep.push(serde_json::json!({
+            "threads": threads,
+            "effective_threads": if threads == 0 { default_replica_threads() } else { threads },
+            "seconds": secs,
+            "runs_per_sec": REPLICAS as f64 / secs,
+            "speedup_vs_serial": serial_secs / secs,
+        }));
+    }
 
     serde_json::json!({
         "replicas": REPLICAS,
@@ -157,9 +173,10 @@ fn bench_batch_replicas(topo: &xk_topo::Topology) -> serde_json::Value {
         "threads": default_replica_threads(),
         "serial_seconds": serial_secs,
         "serial_runs_per_sec": REPLICAS as f64 / serial_secs,
-        "batch_seconds": batch_secs,
-        "batch_runs_per_sec": REPLICAS as f64 / batch_secs,
-        "speedup": serial_secs / batch_secs,
+        "batch_seconds": default_batch_secs,
+        "batch_runs_per_sec": REPLICAS as f64 / default_batch_secs,
+        "speedup": serial_secs / default_batch_secs,
+        "thread_sweep": sweep,
     })
 }
 
@@ -521,7 +538,9 @@ fn main() {
         "obs": obs,
         "run_cache": {
             "entries": cache.len(),
+            "shards": cache.sharded().n_shards(),
             "hits": stats.hits,
+            "coalesced": stats.coalesced,
             "misses": stats.misses,
             "hit_rate": stats.hit_rate(),
         },

@@ -87,9 +87,10 @@ fn main() {
     if let Some(c) = runcache::global_if_enabled() {
         let s = c.stats();
         eprintln!(
-            "\nrun cache: {} entries, {} hits / {} misses ({:.0}% hit rate), {} rayon threads",
+            "\nrun cache: {} entries, {} hits / {} coalesced / {} misses ({:.0}% hit rate), {} rayon threads",
             c.len(),
             s.hits,
+            s.coalesced,
             s.misses,
             s.hit_rate() * 100.0,
             rayon::current_num_threads()

@@ -7,77 +7,28 @@
 //! fully identified by `(library, routine, n, tile, data_on_device,
 //! topology fingerprint)` — the [`RunCache`] maps that key to the finished
 //! [`RunResult`] and never simulates the same configuration twice.
+//!
+//! Since PR 8 the storage is `xk-serve`'s lock-striped, single-flight
+//! [`ShardedCache`] (the same exact tier the planner service uses):
+//! lookups of different configuration families take different locks, and
+//! concurrent misses of the *same* key coalesce onto one leader's DES run
+//! instead of simulating twice. [`CacheStats::coalesced`] counts those
+//! parked lookups separately from plain hits and misses.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
 
 use xk_baselines::{run, Library, RunError, RunParams, RunResult};
-use xk_kernels::Routine;
 use xk_topo::Topology;
 
-/// The memoization key: everything that determines a simulated run.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct RunKey {
-    /// Library policy model.
-    pub library: Library,
-    /// BLAS-3 routine.
-    pub routine: Routine,
-    /// Matrix dimension.
-    pub n: usize,
-    /// Tile size.
-    pub tile: usize,
-    /// Data-on-device methodology.
-    pub data_on_device: bool,
-    /// [`Topology::fingerprint`] of the platform.
-    pub topo_fingerprint: u64,
-}
+pub use xk_serve::{CacheStats, QueryKey as RunKey, ShardedCache};
 
-impl RunKey {
-    /// Builds the key for one run.
-    pub fn new(lib: Library, topo: &Topology, params: &RunParams) -> Self {
-        RunKey {
-            library: lib,
-            routine: params.routine,
-            n: params.n,
-            tile: params.tile,
-            data_on_device: params.data_on_device,
-            topo_fingerprint: topo.fingerprint(),
-        }
-    }
-}
-
-/// Hit/miss counters of a cache, for run reports.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct CacheStats {
-    /// Lookups answered from the cache.
-    pub hits: u64,
-    /// Lookups that had to simulate.
-    pub misses: u64,
-}
-
-impl CacheStats {
-    /// Hits over total lookups, in `[0, 1]` (0 when never queried).
-    pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
-        }
-    }
-}
-
-/// A thread-safe memo table over [`xk_baselines::run`].
-///
-/// Concurrent lookups of the same key may both simulate (the lock is not
-/// held during the run); both compute the identical deterministic result,
-/// so the duplicate work is harmless and the first inserted value wins.
+/// A thread-safe, lock-striped memo table over [`xk_baselines::run`] with
+/// single-flight admission: exactly one concurrent caller per key
+/// simulates, the rest park and observe the leader's bit-identical result.
 #[derive(Debug, Default)]
 pub struct RunCache {
-    map: Mutex<HashMap<RunKey, Result<RunResult, RunError>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    inner: ShardedCache,
 }
 
 impl RunCache {
@@ -87,7 +38,8 @@ impl RunCache {
     }
 
     /// Runs `lib` with `params` on `topo`, returning the memoized outcome
-    /// when this exact configuration was simulated before.
+    /// when this exact configuration was simulated before (or is being
+    /// simulated right now by another thread).
     pub fn run(
         &self,
         lib: Library,
@@ -95,45 +47,35 @@ impl RunCache {
         params: &RunParams,
     ) -> Result<RunResult, RunError> {
         let key = RunKey::new(lib, topo, params);
-        if let Some(found) = self.map.lock().unwrap().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return found.clone();
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        // Simulate outside the lock so independent points still run in
-        // parallel; entry() keeps the first inserted value.
-        let result = run(lib, topo, params);
-        self.map
-            .lock()
-            .unwrap()
-            .entry(key)
-            .or_insert_with(|| result.clone());
-        result
+        self.inner
+            .get_or_compute(key, || run(lib, topo, params))
+            .0
     }
 
-    /// Current hit/miss counters.
+    /// The underlying sharded cache (shard spread diagnostics, and the
+    /// engine-level admission API).
+    pub fn sharded(&self) -> &ShardedCache {
+        &self.inner
+    }
+
+    /// Current hit/coalesce/miss counters.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-        }
+        self.inner.stats()
     }
 
     /// Number of memoized configurations.
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        self.inner.len()
     }
 
     /// True when nothing is memoized.
     pub fn is_empty(&self) -> bool {
-        self.map.lock().unwrap().is_empty()
+        self.inner.is_empty()
     }
 
     /// Drops every memoized run and resets the counters.
     pub fn clear(&self) {
-        self.map.lock().unwrap().clear();
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
+        self.inner.clear();
     }
 }
 
@@ -163,6 +105,7 @@ pub fn global_if_enabled() -> Option<&'static RunCache> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xk_kernels::Routine;
     use xk_topo::dgx1;
 
     fn params(n: usize, tile: usize) -> RunParams {
@@ -221,5 +164,24 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn concurrent_same_key_coalesces() {
+        let topo = dgx1();
+        let cache = RunCache::new();
+        let lib = Library::CublasXt;
+        let p = params(4096, 2048);
+        let bits: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| cache.run(lib, &topo, &p).unwrap().seconds.to_bits()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(bits.windows(2).all(|w| w[0] == w[1]));
+        let st = cache.stats();
+        assert_eq!(st.misses, 1, "single flight: one DES run");
+        assert_eq!(st.hits + st.coalesced, 3);
+        assert_eq!(cache.len(), 1);
     }
 }

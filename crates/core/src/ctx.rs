@@ -262,6 +262,17 @@ impl<T: Scalar> Context<T> {
         self.session().run(&graph).into_outcome()
     }
 
+    /// Detaches the composed graph without running it and resets the
+    /// context, exactly as the `run_*` entry points do before executing.
+    ///
+    /// Batched callers (the xk-serve miss driver) use this to build one
+    /// graph and simulate it under several runtime configurations via
+    /// [`xk_runtime::SimSession::run_prepped`], sharing the hoisted
+    /// [`xk_runtime::SimPrep`] instead of re-deriving it per run.
+    pub fn finish_graph(&mut self) -> TaskGraph {
+        self.take_graph()
+    }
+
     /// Executes the composed graph both ways: numerically (for values) and
     /// simulated (for timing); returns the simulation outcome.
     pub fn run_both(&mut self, threads: usize) -> SimOutcome {

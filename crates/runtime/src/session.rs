@@ -33,7 +33,7 @@ use crate::config::RuntimeConfig;
 use crate::graph::TaskGraph;
 use crate::obs::{ObsLevel, ObsReport};
 use crate::choice::ScheduleController;
-use crate::sim_exec::{bandwidth_matrix_of, LinkFault, SimExecutor, SimOutcome};
+use crate::sim_exec::{bandwidth_matrix_of, LinkFault, SimExecutor, SimOutcome, SimPrep};
 use xk_trace::Trace;
 
 /// A configured simulation session on one topology: the single entry point
@@ -97,6 +97,20 @@ impl<'t> SimSession<'t> {
     /// Simulates `graph` to completion.
     pub fn run(&self, graph: &TaskGraph) -> Run {
         let mut exec = SimExecutor::new(graph, self.topo, &self.cfg).observe(self.obs);
+        if let Some(fault) = self.fault {
+            exec = exec.with_fault(fault);
+        }
+        Run { outcome: exec.run() }
+    }
+
+    /// Simulates `graph` from shared precomputed per-graph state.
+    ///
+    /// `prep` must have been built from this same `graph` (see
+    /// [`SimPrep::new`]); the run is byte-identical to [`SimSession::run`].
+    /// Batched replica drivers build the prep once and stamp every run
+    /// from it, skipping the per-run label rendering and CSR derivation.
+    pub fn run_prepped(&self, graph: &TaskGraph, prep: &SimPrep) -> Run {
+        let mut exec = SimExecutor::with_prep(graph, self.topo, &self.cfg, prep).observe(self.obs);
         if let Some(fault) = self.fault {
             exec = exec.with_fault(fault);
         }

@@ -1,0 +1,271 @@
+//! serve_load: replay a zipf query trace against the planner service.
+//!
+//! Three replay phases against one engine — `cold` (every configuration
+//! simulated at least once), `warm` (the identical trace again, answered
+//! from the exact cache) and `approx` (off-grid N values under an
+//! `Approx { rel_err }` contract, served by the interpolation tier where
+//! its error gate allows) — plus a `batch` phase on a fresh engine that
+//! pushes a duplicate-heavy slice of the trace through
+//! [`ServeEngine::query_batch`] so in-batch duplicates coalesce onto one
+//! simulation each. Per-request latencies (p50/p99), throughput and the
+//! hit/coalesce/miss/interpolated counters land in `BENCH_serve.json`.
+//!
+//! Usage: `serve_load [--quick] [--requests N] [--threads N] [--out PATH]`
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use xk_baselines::{Library, RunParams, XkVariant};
+use xk_kernels::Routine;
+use xk_serve::{percentile, zipf_trace, EngineStats, Query, QueryKey, ServeEngine};
+
+/// Exact-grid matrix dimensions (the curve sample points). Large N at a
+/// fixed 2048 tile: the GFLOP/s curves are near-linear here, whereas at
+/// small tile counts integer-parity effects make them too steppy for any
+/// linear fit to pass its own error gate.
+const GRID_N: [usize; 6] = [16384, 20480, 24576, 28672, 32768, 36864];
+/// Off-grid dimensions for the approximate phase.
+const MID_N: [usize; 5] = [18432, 22528, 26624, 30720, 34816];
+const TILE: usize = 2048;
+const ROUTINES: [Routine; 3] = [Routine::Gemm, Routine::Syrk, Routine::Trsm];
+const ZIPF_EXPONENT: f64 = 0.9;
+const SEED: u64 = 42;
+/// Approx-phase tolerance: loose enough that the smooth families serve
+/// from their fits, tight enough that the steppiest (XKBlas-no-heuristic
+/// TRSM) is refused by the leave-one-out gate and falls back to exact.
+const APPROX_TOL: f64 = 0.30;
+
+fn libraries(quick: bool) -> Vec<Library> {
+    if quick {
+        vec![Library::XkBlas(XkVariant::Full), Library::CublasXt]
+    } else {
+        vec![
+            Library::XkBlas(XkVariant::Full),
+            Library::XkBlas(XkVariant::NoHeuristic),
+            Library::CublasXt,
+            Library::Slate,
+        ]
+    }
+}
+
+fn configs(quick: bool, dims: &[usize]) -> Vec<(Library, RunParams)> {
+    let mut out = Vec::new();
+    for &lib in &libraries(quick) {
+        for &routine in &ROUTINES {
+            if !lib.supports(routine) {
+                continue;
+            }
+            for &n in dims {
+                out.push((
+                    lib,
+                    RunParams {
+                        routine,
+                        n,
+                        tile: TILE,
+                        data_on_device: false,
+                    },
+                ));
+            }
+        }
+    }
+    out
+}
+
+struct PhaseReport {
+    queries: usize,
+    seconds: f64,
+    p50_us: f64,
+    p99_us: f64,
+    delta: EngineStats,
+}
+
+impl PhaseReport {
+    fn qps(&self) -> f64 {
+        self.queries as f64 / self.seconds
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"queries\": {}, \"seconds\": {}, \"queries_per_sec\": {}, \
+             \"p50_us\": {}, \"p99_us\": {}, \"hits\": {}, \"coalesced\": {}, \
+             \"misses\": {}, \"interpolated\": {}}}",
+            self.queries,
+            self.seconds,
+            self.qps(),
+            self.p50_us,
+            self.p99_us,
+            self.delta.hits,
+            self.delta.coalesced,
+            self.delta.misses,
+            self.delta.interpolated,
+        )
+    }
+}
+
+fn stats_delta(after: EngineStats, before: EngineStats) -> EngineStats {
+    EngineStats {
+        hits: after.hits - before.hits,
+        coalesced: after.coalesced - before.coalesced,
+        misses: after.misses - before.misses,
+        interpolated: after.interpolated - before.interpolated,
+    }
+}
+
+/// Replays `queries` one at a time, timing each request.
+fn run_phase(engine: &ServeEngine, queries: &[Query]) -> PhaseReport {
+    let before = engine.stats();
+    let mut lat_us: Vec<f64> = Vec::with_capacity(queries.len());
+    let t0 = Instant::now();
+    for &q in queries {
+        let tq = Instant::now();
+        engine.query(q).expect("trace queries are runnable");
+        lat_us.push(tq.elapsed().as_secs_f64() * 1e6);
+    }
+    let seconds = t0.elapsed().as_secs_f64();
+    lat_us.sort_by(f64::total_cmp);
+    PhaseReport {
+        queries: queries.len(),
+        seconds,
+        p50_us: percentile(&lat_us, 50.0),
+        p99_us: percentile(&lat_us, 99.0),
+        delta: stats_delta(engine.stats(), before),
+    }
+}
+
+fn main() {
+    let mut quick = false;
+    let mut requests: Option<usize> = None;
+    let mut threads = 0usize;
+    let mut out = "BENCH_serve.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--requests" => {
+                requests = Some(args.next().and_then(|v| v.parse().ok()).expect("--requests N"))
+            }
+            "--threads" => {
+                threads = args.next().and_then(|v| v.parse().ok()).expect("--threads N")
+            }
+            "--out" => out = args.next().expect("--out PATH"),
+            other => panic!("unknown argument {other:?} (serve_load [--quick] [--requests N] [--threads N] [--out PATH])"),
+        }
+    }
+    let requests = requests.unwrap_or(if quick { 96 } else { 240 });
+
+    let topo = xk_topo::dgx1();
+    let uni = configs(quick, &GRID_N);
+    // The trace enumerates the universe once (full coverage: every curve
+    // family gets all its grid points) and then draws the zipf tail.
+    let mut trace: Vec<usize> = (0..uni.len()).collect();
+    trace.extend(zipf_trace(
+        uni.len(),
+        requests.saturating_sub(uni.len()),
+        ZIPF_EXPONENT,
+        SEED,
+    ));
+    let exact_trace: Vec<Query> = trace
+        .iter()
+        .map(|&i| Query::exact(uni[i].0, uni[i].1))
+        .collect();
+
+    eprintln!(
+        "serve_load: {} configs, {} requests, zipf s={ZIPF_EXPONENT}",
+        uni.len(),
+        exact_trace.len()
+    );
+
+    let engine = ServeEngine::new(topo.clone());
+    eprintln!("cold replay (every miss is a DES run) ...");
+    let cold = run_phase(&engine, &exact_trace);
+    eprintln!("warm replay (same trace, resident) ...");
+    let warm = run_phase(&engine, &exact_trace);
+
+    eprintln!("approx replay (off-grid N, tol {APPROX_TOL}) ...");
+    let approx_queries: Vec<Query> = configs(quick, &MID_N)
+        .into_iter()
+        .map(|(lib, params)| Query::approx(lib, params, APPROX_TOL))
+        .collect();
+    let approx = run_phase(&engine, &approx_queries);
+
+    // Batch phase: a fresh engine, a duplicate-heavy trace slice, one
+    // query_batch call. In-batch duplicates coalesce; distinct keys
+    // simulate concurrently over the replica driver.
+    let batch_len = exact_trace.len().min(4 * uni.len());
+    let batch_queries = &exact_trace[..batch_len];
+    let distinct: HashSet<QueryKey> = batch_queries
+        .iter()
+        .map(|q| QueryKey::new(q.library, &topo, &q.params))
+        .collect();
+    let batch_engine = ServeEngine::new(topo.clone());
+    eprintln!(
+        "batch replay ({batch_len} queries, {} distinct, threads={threads}) ...",
+        distinct.len()
+    );
+    let t0 = Instant::now();
+    let batch_answers = batch_engine.query_batch(batch_queries, threads);
+    let batch_secs = t0.elapsed().as_secs_f64();
+    let bstats = batch_engine.stats();
+
+    // Sanity: the counters account for every query, each distinct key
+    // simulated exactly once, and the batch answers are bit-identical to
+    // the sequential engine's.
+    assert_eq!(
+        bstats.hits + bstats.coalesced + bstats.misses,
+        batch_len as u64,
+        "batch counters must account for every query"
+    );
+    assert_eq!(
+        bstats.misses as usize,
+        distinct.len(),
+        "each distinct key must simulate exactly once"
+    );
+    for (q, a) in batch_queries.iter().zip(&batch_answers) {
+        let a = a.as_ref().expect("batch query runnable");
+        let r = engine.query(*q).expect("reference query runnable");
+        assert_eq!(
+            a.seconds.to_bits(),
+            r.seconds.to_bits(),
+            "batch answer diverged from the sequential engine"
+        );
+    }
+
+    let speedup = warm.qps() / cold.qps();
+    assert!(
+        speedup >= 10.0,
+        "warm replay must be >= 10x cold throughput (got {speedup:.1}x)"
+    );
+
+    let json = format!(
+        "{{\n  \"harness\": \"serve_load\",\n  \"quick\": {quick},\n  \
+         \"universe\": {},\n  \"requests\": {},\n  \"tile\": {TILE},\n  \
+         \"zipf_exponent\": {ZIPF_EXPONENT},\n  \"seed\": {SEED},\n  \
+         \"threads\": {threads},\n  \"shards\": {},\n  \
+         \"cold\": {},\n  \"warm\": {},\n  \"approx\": {},\n  \
+         \"batch\": {{\"queries\": {batch_len}, \"distinct\": {}, \
+         \"seconds\": {batch_secs}, \"queries_per_sec\": {}, \
+         \"hits\": {}, \"coalesced\": {}, \"misses\": {}}},\n  \
+         \"warm_speedup\": {speedup},\n  \"curve_families\": {},\n  \
+         \"approx_tolerance\": {APPROX_TOL}\n}}\n",
+        uni.len(),
+        exact_trace.len(),
+        engine.cache().n_shards(),
+        cold.json(),
+        warm.json(),
+        approx.json(),
+        distinct.len(),
+        batch_len as f64 / batch_secs,
+        bstats.hits,
+        bstats.coalesced,
+        bstats.misses,
+        engine.curves_tracked(),
+    );
+    std::fs::write(&out, json.as_bytes()).expect("snapshot written");
+    print!("{json}");
+    eprintln!(
+        "wrote {out} (cold {:.0} q/s, warm {:.0} q/s = {speedup:.0}x, {} interpolated)",
+        cold.qps(),
+        warm.qps(),
+        approx.delta.interpolated
+    );
+}

@@ -1,0 +1,134 @@
+//! Synthetic request traces for load-testing the engine.
+//!
+//! The `serve_load` harness replays a zipf-over-configs trace: a few hot
+//! configurations dominate (the planner steady state — everyone asks about
+//! the same production shapes) with a long tail of cold ones. Generation
+//! is fully deterministic (SplitMix64 streams, no external RNG crate) so
+//! two runs of the harness replay byte-identical traces.
+
+use crate::key::splitmix64;
+
+/// A deterministic SplitMix64 stream.
+#[derive(Clone, Debug)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// A stream seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Rng64 { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        splitmix64(self.state)
+    }
+
+    /// Uniform in `[0, 1)` with 53-bit resolution.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Zipf sampler over ranks `0..n` with exponent `s`: rank k is drawn with
+/// probability proportional to `1/(k+1)^s`. Built once (O(n) table),
+/// sampled by binary search over the cumulative weights.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// A sampler over `n` ranks with exponent `s` (`s = 0` is uniform).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Draws one rank.
+    pub fn sample(&self, rng: &mut Rng64) -> usize {
+        let u = rng.next_f64();
+        self.cumulative.partition_point(|&c| c <= u)
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.cumulative.len()
+    }
+}
+
+/// Draws `requests` config indices from a zipf over `n_configs` ranks.
+pub fn zipf_trace(n_configs: usize, requests: usize, exponent: f64, seed: u64) -> Vec<usize> {
+    let zipf = Zipf::new(n_configs, exponent);
+    let mut rng = Rng64::new(seed);
+    (0..requests).map(|_| zipf.sample(&mut rng)).collect()
+}
+
+/// The `p`-th percentile (0–100) of an ascending-sorted slice, by
+/// nearest-rank on the inclusive index range.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic() {
+        let a = zipf_trace(64, 1000, 0.9, 42);
+        let b = zipf_trace(64, 1000, 0.9, 42);
+        assert_eq!(a, b);
+        let c = zipf_trace(64, 1000, 0.9, 43);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let trace = zipf_trace(64, 20_000, 1.0, 7);
+        let mut counts = vec![0usize; 64];
+        for &i in &trace {
+            counts[i] += 1;
+        }
+        assert!(counts[0] > counts[10], "rank 0 must beat rank 10");
+        assert!(counts[0] > trace.len() / 20, "head rank must be hot");
+        // Every rank index stays in range and the tail is still reachable.
+        assert!(counts.iter().sum::<usize>() == trace.len());
+    }
+
+    #[test]
+    fn uniform_exponent_spreads() {
+        let trace = zipf_trace(8, 16_000, 0.0, 11);
+        let mut counts = vec![0usize; 8];
+        for &i in &trace {
+            counts[i] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 1000, "uniform draw must reach every rank: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn percentiles() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        // Nearest rank on indices 0..=99: 0.5 * 99 = 49.5 rounds to 50.
+        assert_eq!(percentile(&v, 50.0), 51.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&[5.0], 99.0), 5.0);
+    }
+}

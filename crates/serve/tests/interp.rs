@@ -1,0 +1,195 @@
+//! The interpolation fast tier against real DES curves.
+
+use xk_baselines::{run, Library, RunParams, XkVariant};
+use xk_kernels::Routine;
+use xk_serve::{AnswerSource, Query, ServeEngine};
+use xk_topo::dgx1;
+
+/// Large-N grid at a fixed 2048 tile: near-linear GFLOP/s-vs-N region.
+const GRID_N: [usize; 6] = [16384, 20480, 24576, 28672, 32768, 36864];
+const MID_N: [usize; 5] = [18432, 22528, 26624, 30720, 34816];
+const TILE: usize = 2048;
+const ROUTINES: [Routine; 3] = [Routine::Gemm, Routine::Syrk, Routine::Trsm];
+const LIBS: [Library; 4] = [
+    Library::XkBlas(XkVariant::Full),
+    Library::XkBlas(XkVariant::NoHeuristic),
+    Library::CublasXt,
+    Library::Slate,
+];
+
+fn params(routine: Routine, n: usize) -> RunParams {
+    RunParams {
+        routine,
+        n,
+        tile: TILE,
+        data_on_device: false,
+    }
+}
+
+/// Seeds every `(library, routine)` family's curve with the exact grid.
+fn seeded_engine() -> ServeEngine {
+    let engine = ServeEngine::new(dgx1());
+    for lib in LIBS {
+        for routine in ROUTINES {
+            for n in GRID_N {
+                engine
+                    .query(Query::exact(lib, params(routine, n)))
+                    .expect("grid point runs");
+            }
+        }
+    }
+    engine
+}
+
+/// Across every library/routine family: in-range approx queries that the
+/// fit serves are within the requested tolerance of the exact DES result,
+/// and approximate answers never enter the exact cache.
+#[test]
+fn approx_within_tolerance_across_grid() {
+    const TOL: f64 = 0.5;
+    let engine = seeded_engine();
+    let topo = dgx1();
+    let resident_before = engine.cache().len();
+
+    let mut interpolated = 0usize;
+    let mut fallbacks = 0usize;
+    for lib in LIBS {
+        for routine in ROUTINES {
+            for n in MID_N {
+                let p = params(routine, n);
+                let a = engine
+                    .query(Query::approx(lib, p, TOL))
+                    .expect("approx query runs");
+                if a.source == AnswerSource::Interpolated {
+                    interpolated += 1;
+                    assert!(a.exact.is_none(), "interpolated answers carry no trace");
+                    // Reference exact run outside the engine so the cache
+                    // stays untouched by the comparison.
+                    let exact = run(lib, &topo, &p).expect("reference runs");
+                    let rel = ((a.tflops - exact.tflops) / exact.tflops).abs();
+                    assert!(
+                        rel <= TOL,
+                        "{lib:?}/{routine:?} n={n}: fit error {rel:.3} > tol {TOL}"
+                    );
+                    let sec_rel = ((a.seconds - exact.seconds) / exact.seconds).abs();
+                    assert!(sec_rel <= TOL, "seconds estimate off by {sec_rel:.3}");
+                } else {
+                    fallbacks += 1;
+                }
+            }
+        }
+    }
+
+    assert!(
+        interpolated >= LIBS.len() * ROUTINES.len(),
+        "the fast tier must serve in-range queries (served {interpolated})"
+    );
+    // Every fallback was an exact DES run that entered the cache; no
+    // interpolated answer did.
+    assert_eq!(
+        engine.cache().len(),
+        resident_before + fallbacks,
+        "approx answers must never enter the exact cache"
+    );
+    assert_eq!(engine.stats().interpolated, interpolated as u64);
+}
+
+/// Out-of-range queries fall back to the exact tier even with a huge
+/// tolerance.
+#[test]
+fn out_of_range_falls_back_to_exact() {
+    let engine = ServeEngine::new(dgx1());
+    let lib = Library::CublasXt;
+    for n in GRID_N {
+        engine
+            .query(Query::exact(lib, params(Routine::Gemm, n)))
+            .unwrap();
+    }
+    for n in [8192usize, 45056] {
+        let a = engine
+            .query(Query::approx(lib, params(Routine::Gemm, n), 10.0))
+            .expect("fallback runs");
+        assert_eq!(
+            a.source,
+            AnswerSource::Miss,
+            "n={n} is outside the fitted range and must simulate"
+        );
+        assert!(a.exact.is_some());
+    }
+}
+
+/// Too few exact observations: the fit refuses and the query simulates.
+#[test]
+fn sparse_data_falls_back_to_exact() {
+    let engine = ServeEngine::new(dgx1());
+    let lib = Library::CublasXt;
+    for n in [GRID_N[0], GRID_N[5]] {
+        engine
+            .query(Query::exact(lib, params(Routine::Gemm, n)))
+            .unwrap();
+    }
+    let a = engine
+        .query(Query::approx(lib, params(Routine::Gemm, MID_N[2]), 10.0))
+        .unwrap();
+    assert_eq!(
+        a.source,
+        AnswerSource::Miss,
+        "two points are below MIN_FIT_POINTS; the tier must refuse"
+    );
+}
+
+/// An interpolated answer leaves no cache entry: a later exact query of
+/// the same configuration is a genuine miss, and an approx re-query then
+/// prefers the now-resident exact result over the fit.
+#[test]
+fn approx_then_exact_then_hit() {
+    let lib = Library::XkBlas(XkVariant::Full);
+    let engine = ServeEngine::new(dgx1());
+    for n in GRID_N {
+        engine.query(Query::exact(lib, params(Routine::Syrk, n))).unwrap();
+    }
+    let p = params(Routine::Syrk, MID_N[1]);
+
+    let approx = engine.query(Query::approx(lib, p, 0.5)).unwrap();
+    assert_eq!(approx.source, AnswerSource::Interpolated);
+    let misses_before = engine.stats().misses;
+
+    let exact = engine.query(Query::exact(lib, p)).unwrap();
+    assert_eq!(exact.source, AnswerSource::Miss, "nothing was cached");
+    assert_eq!(engine.stats().misses, misses_before + 1);
+
+    let again = engine.query(Query::approx(lib, p, 0.5)).unwrap();
+    assert_eq!(
+        again.source,
+        AnswerSource::Hit,
+        "a resident exact entry beats the fit"
+    );
+    assert_eq!(again.seconds.to_bits(), exact.seconds.to_bits());
+}
+
+/// The engine's counters tie out: hits + coalesced + misses equals the
+/// number of exact-tier resolutions, interpolated counts the rest.
+#[test]
+fn stats_account_for_every_query() {
+    let lib = Library::CublasXt;
+    let engine = ServeEngine::new(dgx1());
+    for n in GRID_N {
+        engine.query(Query::exact(lib, params(Routine::Trsm, n))).unwrap();
+    }
+    for n in GRID_N {
+        engine.query(Query::exact(lib, params(Routine::Trsm, n))).unwrap();
+    }
+    for n in MID_N {
+        engine
+            .query(Query::approx(lib, params(Routine::Trsm, n), 0.5))
+            .unwrap();
+    }
+    let st = engine.stats();
+    let exact_resolutions = st.hits + st.coalesced + st.misses;
+    assert_eq!(
+        exact_resolutions + st.interpolated,
+        (2 * GRID_N.len() + MID_N.len()) as u64
+    );
+    assert_eq!(st.hits, GRID_N.len() as u64, "second grid pass all hits");
+    assert_eq!(st.misses as usize + st.interpolated as usize, GRID_N.len() + MID_N.len());
+}

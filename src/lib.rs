@@ -14,6 +14,8 @@
 //!   heuristics.
 //! * [`blas`] — the XKBlas-like asynchronous tiled BLAS-3 API.
 //! * [`baselines`] — policy models of the competing libraries.
+//! * [`serve`] — the planner-as-a-service query engine (sharded
+//!   single-flight cache + interpolation fast tier).
 //! * [`bench`] — the table/figure reproduction harness.
 //! * [`trace`] — execution traces, breakdowns and Gantt charts.
 //!
@@ -52,6 +54,7 @@ pub use xk_baselines as baselines;
 pub use xk_bench as bench;
 pub use xk_kernels as kernels;
 pub use xk_runtime as runtime;
+pub use xk_serve as serve;
 pub use xk_sim as sim;
 pub use xk_topo as topo;
 pub use xk_trace as trace;
