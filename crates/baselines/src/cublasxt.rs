@@ -10,7 +10,7 @@
 use xk_kernels::perfmodel::TileOp;
 use xk_kernels::{GpuModel, Routine};
 use xk_sim::SimTime;
-use xk_topo::{Device, Topology};
+use xk_topo::{Device, FabricSpec};
 
 use crate::fabric::Fabric;
 use crate::xkblas_like::outcome_to_result;
@@ -19,7 +19,7 @@ use crate::{RunParams, RunResult};
 const STREAMS: usize = 2;
 
 struct Driver<'t> {
-    topo: &'t Topology,
+    topo: &'t FabricSpec,
     fabric: Fabric,
     model: GpuModel,
     /// Per-(gpu, stream) cursor: end of the last in-stream operation.
@@ -31,7 +31,7 @@ struct Driver<'t> {
 }
 
 impl<'t> Driver<'t> {
-    fn new(topo: &'t Topology, n: usize, b: usize) -> Self {
+    fn new(topo: &'t FabricSpec, n: usize, b: usize) -> Self {
         Driver {
             fabric: Fabric::new(topo, STREAMS),
             model: GpuModel::v100(),
@@ -99,7 +99,7 @@ impl<'t> Driver<'t> {
 }
 
 /// Simulates one cuBLAS-XT routine call.
-pub fn run_cublasxt(topo: &Topology, params: &RunParams) -> RunResult {
+pub fn run_cublasxt(topo: &FabricSpec, params: &RunParams) -> RunResult {
     let mut d = Driver::new(topo, params.n, params.tile);
     let n_gpus = topo.n_gpus();
     let mut rr = 0usize; // round-robin slot counter

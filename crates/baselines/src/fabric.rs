@@ -4,7 +4,7 @@
 //! software cache or heuristics.
 
 use xk_sim::{Duration, EngineId, EnginePool, Reservation, SimTime};
-use xk_topo::{BusSegment, Device, Topology};
+use xk_topo::{BusSegment, Device, FabricSpec};
 use xk_trace::{FlowId, Place, Span, SpanKind, Trace};
 
 /// The engine fabric of a custom baseline simulation.
@@ -15,6 +15,9 @@ pub struct Fabric {
     streams: Vec<Vec<EngineId>>,
     uplinks: Vec<EngineId>,
     intersocket: EngineId,
+    /// One NIC engine per node (empty on single-node fabrics, keeping
+    /// legacy engine tables bit-identical).
+    nics: Vec<EngineId>,
     /// Recorded spans.
     pub trace: Trace,
     /// Byte counters (H2D, D2H, P2P).
@@ -23,7 +26,7 @@ pub struct Fabric {
 
 impl Fabric {
     /// Builds the fabric with `streams_per_gpu` kernel engines per GPU.
-    pub fn new(topo: &Topology, streams_per_gpu: usize) -> Self {
+    pub fn new(topo: &FabricSpec, streams_per_gpu: usize) -> Self {
         let mut pool = EnginePool::new();
         let n = topo.n_gpus();
         let per_gpu_in = (0..n).map(|g| pool.add(format!("gpu{g}.in"))).collect();
@@ -38,6 +41,13 @@ impl Fabric {
             .map(|s| pool.add(format!("switch{s}.uplink")))
             .collect();
         let intersocket = pool.add("intersocket");
+        let nics = if topo.n_nodes() > 1 {
+            (0..topo.n_nodes())
+                .map(|nd| pool.add(format!("node{nd}.nic")))
+                .collect()
+        } else {
+            Vec::new()
+        };
         Fabric {
             pool,
             per_gpu_in,
@@ -45,6 +55,7 @@ impl Fabric {
             streams,
             uplinks,
             intersocket,
+            nics,
             trace: Trace::new(),
             bytes: (0, 0, 0),
         }
@@ -55,6 +66,7 @@ impl Fabric {
             .map(|s| match s {
                 BusSegment::HostUplink(sw) => self.uplinks[*sw],
                 BusSegment::InterSocket => self.intersocket,
+                BusSegment::InterNode(nd) => self.nics[*nd],
             })
             .collect()
     }
@@ -63,7 +75,7 @@ impl Fabric {
     /// `pitched` applies the `cudaMemcpy2D` derating on host routes.
     pub fn transfer(
         &mut self,
-        topo: &Topology,
+        topo: &FabricSpec,
         src: Device,
         dst: Device,
         bytes: u64,
@@ -179,6 +191,20 @@ mod tests {
         assert_eq!(r1.start, r0.end);
         assert_eq!(r2.start, SimTime::ZERO);
         assert!((f.makespan() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_node_transfers_contend_on_the_nics() {
+        // Two P2P transfers between different GPU pairs that both cross
+        // the inter-node link serialize on the shared NIC engines, while a
+        // same-node transfer on untouched engines overlaps.
+        let topo = xk_topo::fabrics::dual_node_ib(4);
+        let mut f = Fabric::new(&topo, 1);
+        let r0 = f.transfer(&topo, Device::Gpu(0), Device::Gpu(4), 1 << 28, SimTime::ZERO, false, "a");
+        let r1 = f.transfer(&topo, Device::Gpu(1), Device::Gpu(5), 1 << 28, SimTime::ZERO, false, "b");
+        assert!(r1.start >= r0.end, "both cross the NICs: must serialize");
+        let r2 = f.transfer(&topo, Device::Gpu(2), Device::Gpu(3), 1 << 28, SimTime::ZERO, false, "c");
+        assert_eq!(r2.start, SimTime::ZERO, "same-node pair is unaffected");
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub use xkblas_like::{build_routine_graph, build_run_graph, run_on_runtime, run_
 
 use xk_kernels::Routine;
 use xk_runtime::{Heuristics, ObsReport, RuntimeConfig, SchedulerKind};
-use xk_topo::Topology;
+use xk_topo::FabricSpec;
 use xk_trace::Trace;
 
 /// The workspace-wide run error (see [`xk_runtime::Error`]); the former
@@ -166,7 +166,7 @@ pub struct RunResult {
 }
 
 /// Runs `lib` on `topo` with `params`.
-pub fn run(lib: Library, topo: &Topology, params: &RunParams) -> Result<RunResult, RunError> {
+pub fn run(lib: Library, topo: &FabricSpec, params: &RunParams) -> Result<RunResult, RunError> {
     if !lib.supports(params.routine) {
         return Err(RunError::Unsupported);
     }
@@ -284,7 +284,7 @@ pub fn run(lib: Library, topo: &Topology, params: &RunParams) -> Result<RunResul
     }
 }
 
-fn run_chameleon(topo: &Topology, params: &RunParams, tile_layout: bool) -> RunResult {
+fn run_chameleon(topo: &FabricSpec, params: &RunParams, tile_layout: bool) -> RunResult {
     // Chameleon/StarPU: dmdas scheduler, 2 workers per GPU (§IV-A), eager
     // flush-back of computed tiles, no topology-aware source selection.
     // StarPU 1.3.5 on this machine stages transfers through the host (the

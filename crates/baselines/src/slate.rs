@@ -10,14 +10,14 @@
 use xk_kernels::perfmodel::TileOp;
 use xk_kernels::{GpuModel, Routine};
 use xk_sim::SimTime;
-use xk_topo::{Device, Topology};
+use xk_topo::{Device, FabricSpec};
 
 use crate::fabric::Fabric;
 use crate::xkblas_like::outcome_to_result;
 use crate::{RunParams, RunResult};
 
 /// Simulates one SLATE routine call on `topo`.
-pub fn run_slate(topo: &Topology, params: &RunParams) -> RunResult {
+pub fn run_slate(topo: &FabricSpec, params: &RunParams) -> RunResult {
     let n_gpus = topo.n_gpus();
     let mut fabric = Fabric::new(topo, 2);
     let model = GpuModel::v100();

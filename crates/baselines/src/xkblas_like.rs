@@ -4,7 +4,7 @@
 //! [`RuntimeConfig`].
 
 use xk_runtime::{ObsLevel, RuntimeConfig, SimOutcome};
-use xk_topo::Topology;
+use xk_topo::FabricSpec;
 use xkblas_core::{
     gemm_async, symm_async, syr2k_async, syrk_async, trmm_async, trsm_async, Context, Diag,
     Matrix, Routine, Side, Trans, Uplo,
@@ -56,7 +56,7 @@ pub fn build_routine_graph(ctx: &mut Context<f64>, routine: Routine, n: usize, d
 /// `memory_coherent` of the output (§IV-A end-to-end methodology);
 /// data-on-device runs leave results on the GPUs (§IV-C).
 pub fn run_on_runtime(
-    topo: &Topology,
+    topo: &FabricSpec,
     params: &RunParams,
     cfg: RuntimeConfig,
     tile_layout: bool,
@@ -82,7 +82,7 @@ pub fn run_on_runtime(
 /// [`crate::XkVariant`] configuration via [`run_prepped`], sharing the
 /// hoisted [`xk_runtime::SimPrep`] across those runs.
 pub fn build_run_graph(
-    topo: &Topology,
+    topo: &FabricSpec,
     params: &RunParams,
     cfg: &RuntimeConfig,
     tile_layout: bool,
@@ -103,7 +103,7 @@ pub fn build_run_graph(
 /// matrix ids inside trace labels differ, as they do between any two
 /// context builds).
 pub fn run_prepped(
-    topo: &Topology,
+    topo: &FabricSpec,
     params: &RunParams,
     cfg: RuntimeConfig,
     graph: &xk_runtime::TaskGraph,

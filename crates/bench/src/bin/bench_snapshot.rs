@@ -127,7 +127,7 @@ fn bench_event_queue() -> serde_json::Value {
 
 /// Cross-seed batch layer: K replicas of one ~4k-task GEMM simulation,
 /// serial per-replica prep vs the shared-[`SimPrep`] replica driver.
-fn bench_batch_replicas(topo: &xk_topo::Topology) -> serde_json::Value {
+fn bench_batch_replicas(topo: &xk_topo::FabricSpec) -> serde_json::Value {
     const NT: usize = 16; // 16^3 = 4096 tasks
     const REPLICAS: usize = 24;
     let (mut g, handles) = gemm_graph_shell(NT);
@@ -181,7 +181,7 @@ fn bench_batch_replicas(topo: &xk_topo::Topology) -> serde_json::Value {
 }
 
 /// Spans/second of one full GEMM simulation.
-fn bench_gemm_sim(topo: &xk_topo::Topology, n: usize, tile: usize) -> (usize, f64, f64) {
+fn bench_gemm_sim(topo: &xk_topo::FabricSpec, n: usize, tile: usize) -> (usize, f64, f64) {
     let params = xk_baselines::RunParams {
         routine: Routine::Gemm,
         n,
@@ -391,7 +391,7 @@ fn bench_par_exec() -> serde_json::Value {
 /// Observability digest per routine: top-3 hot links and critical-path
 /// composition of the XKBlas run (the critical-path invariant is asserted
 /// on every entry).
-fn bench_obs(topo: &xk_topo::Topology) -> serde_json::Value {
+fn bench_obs(topo: &xk_topo::FabricSpec) -> serde_json::Value {
     let per_routine: Vec<serde_json::Value> = Routine::ALL
         .into_iter()
         .map(|routine| {
@@ -440,6 +440,44 @@ fn bench_obs(topo: &xk_topo::Topology) -> serde_json::Value {
         })
         .collect();
     serde_json::json!(per_routine)
+}
+
+/// GEMM GFLOP/s per gallery fabric × heuristic variant, one fixed problem
+/// and tile (no tile search), so the numbers are cheap and directly
+/// comparable across fabrics. This is where a topology-blind reading of
+/// the snapshot would miss that the heuristics rank differently on an
+/// NVSwitch or PCIe-only machine than on the DGX-1.
+fn bench_fabrics() -> serde_json::Value {
+    const N: usize = 8192;
+    const TILE: usize = 2048;
+    let per_fabric: Vec<serde_json::Value> = xk_topo::fabrics::gallery()
+        .iter()
+        .map(|topo| {
+            let gflops = |v: XkVariant| {
+                let params = xk_baselines::RunParams {
+                    routine: Routine::Gemm,
+                    n: N,
+                    tile: TILE,
+                    data_on_device: false,
+                };
+                let r = xk_baselines::run(Library::XkBlas(v), topo, &params)
+                    .expect("xkblas runs on every gallery fabric");
+                r.tflops * 1000.0
+            };
+            serde_json::json!({
+                "fabric": topo.name(),
+                "fingerprint": format!("{:016x}", topo.fingerprint()),
+                "n_gpus": topo.n_gpus(),
+                "n_nodes": topo.n_nodes(),
+                "gemm_gflops": {
+                    "full": gflops(XkVariant::Full),
+                    "no_heuristic": gflops(XkVariant::NoHeuristic),
+                    "no_heuristic_no_topo": gflops(XkVariant::NoHeuristicNoTopo),
+                },
+            })
+        })
+        .collect();
+    serde_json::json!({ "n": N, "tile": TILE, "per_fabric": per_fabric })
 }
 
 fn series_equal(a: &[Vec<SeriesPoint>], b: &[Vec<SeriesPoint>]) -> bool {
@@ -502,6 +540,9 @@ fn main() {
     eprintln!("observability digest (per-routine hot links + critical path) ...");
     let obs = bench_obs(&topo);
 
+    eprintln!("fabric gallery (GEMM GFLOP/s per fabric x heuristic) ...");
+    let fabrics = bench_fabrics();
+
     eprintln!("small sweep, warm cache ...");
     let t0 = Instant::now();
     let warm: Vec<Vec<SeriesPoint>> = SWEEP_LIBS
@@ -536,6 +577,7 @@ fn main() {
         "graph": graph,
         "par_exec": par_exec,
         "obs": obs,
+        "fabrics": fabrics,
         "run_cache": {
             "entries": cache.len(),
             "shards": cache.sharded().n_shards(),

@@ -61,6 +61,16 @@ fn main() {
         let _ = write_csv(&format!("fig5_{}.csv", routine.name().to_lowercase()), &table.to_csv());
     }
 
+    println!("\n================ Fabric gallery ================\n");
+    // GEMM on every gallery fabric; the gallery multiplies the sweep, so
+    // it runs the first two grid points only.
+    let gallery_dims = &dims[..dims.len().min(2)];
+    for (name, table) in figs::fabric_gallery_gemm(gallery_dims) {
+        println!("{name}\n{}", table.render());
+        let slug = name.split_whitespace().next().unwrap_or("fabric").replace('-', "_");
+        let _ = write_csv(&format!("fabric_{slug}.csv"), &table.to_csv());
+    }
+
     let n6 = if reduced { 16384 } else { 32768 };
     println!("\n================ Fig. 6 (N={n6}) ================\n");
     let t = figs::fig6_trace_gemm(&topo, n6);

@@ -4,7 +4,7 @@
 use xk_baselines::RunParams;
 use xk_kernels::{Diag, Routine, Side, Trans, Uplo};
 use xk_runtime::{Heuristics, ObsLevel, ObsReport, RuntimeConfig, SchedulerKind};
-use xk_topo::Topology;
+use xk_topo::FabricSpec;
 use xk_trace::Trace;
 use xkblas_core::{gemm_async, trsm_async, Context, Matrix};
 
@@ -32,7 +32,7 @@ pub fn composition_flops(n: usize) -> f64 {
 
 /// XKBlas composition: both calls in one graph, point-to-point
 /// dependencies between them, one coherency at the end (§IV-F).
-pub fn run_xkblas_composition(topo: &Topology, n: usize, tile: usize) -> CompositionResult {
+pub fn run_xkblas_composition(topo: &FabricSpec, n: usize, tile: usize) -> CompositionResult {
     let mut ctx = Context::<f64>::new(topo.clone(), RuntimeConfig::xkblas(), tile);
     ctx.set_simulation_only(true);
     ctx.set_observability(ObsLevel::Full);
@@ -59,7 +59,7 @@ pub fn run_xkblas_composition(topo: &Topology, n: usize, tile: usize) -> Composi
 /// Chameleon composition: two synchronous calls — the TRSM result returns
 /// to host coherence before the GEMM starts re-distributing it (the
 /// synchronization gap of Fig. 9).
-pub fn run_chameleon_composition(topo: &Topology, n: usize, tile: usize) -> CompositionResult {
+pub fn run_chameleon_composition(topo: &FabricSpec, n: usize, tile: usize) -> CompositionResult {
     let cfg = || {
         let mut cfg = RuntimeConfig::xkblas()
             .with_scheduler(SchedulerKind::Dmdas)

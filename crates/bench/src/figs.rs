@@ -7,7 +7,7 @@ use std::fmt::Write as _;
 use xk_baselines::{run, Library, RunParams, XkVariant};
 use xk_kernels::Routine;
 use xk_runtime::{ObsReport, SimSession};
-use xk_topo::{dgx1, Topology, DGX1_TABLE1};
+use xk_topo::{dgx1, FabricSpec, DGX1_TABLE1};
 use xk_trace::SpanKind;
 
 use crate::composition::{run_chameleon_composition, run_xkblas_composition};
@@ -23,7 +23,7 @@ fn cache() -> Option<&'static runcache::RunCache> {
 /// Best-tile run through the shared cache with parallel tile candidates.
 fn best(
     lib: Library,
-    topo: &Topology,
+    topo: &FabricSpec,
     routine: Routine,
     n: usize,
     data_on_device: bool,
@@ -61,7 +61,7 @@ pub fn table1_platform() -> String {
 
 /// Fig. 2: GPU↔GPU bandwidth matrix in GB/s from simulated point-to-point
 /// transfers, next to the paper's measured values.
-pub fn fig2_bandwidth(topo: &Topology) -> Table {
+pub fn fig2_bandwidth(topo: &FabricSpec) -> Table {
     let measured = SimSession::on(topo).bandwidth_matrix(64 << 20);
     let n = topo.n_gpus();
     let mut header = vec!["D\\D".to_string()];
@@ -77,7 +77,7 @@ pub fn fig2_bandwidth(topo: &Topology) -> Table {
 
 /// Fig. 3: GEMM/SYR2K/TRSM data-on-host with the heuristics ablated, plus
 /// cuBLAS-XT as the reference. Returns one table per routine.
-pub fn fig3_heuristics(topo: &Topology, dims: &[usize]) -> Vec<(Routine, Table)> {
+pub fn fig3_heuristics(topo: &FabricSpec, dims: &[usize]) -> Vec<(Routine, Table)> {
     let libs = [
         Library::CublasXt,
         Library::XkBlas(XkVariant::Full),
@@ -101,8 +101,53 @@ pub fn fig3_heuristics(topo: &Topology, dims: &[usize]) -> Vec<(Routine, Table)>
         .collect()
 }
 
+/// Fabric gallery panel: the Fig. 3-style heuristics ablation (plus the
+/// Fig. 4-style data-on-device series) for GEMM on every fabric in
+/// [`xk_topo::fabrics::gallery`]. One table per fabric — the place where
+/// the heuristics' relative value visibly depends on the machine: on the
+/// DGX-1 the topology-aware rank spread matters, on an NVSwitch or
+/// PCIe-only box every peer ranks the same and only the optimistic
+/// forwarding (or nothing) is left to win.
+pub fn fabric_gallery_gemm(dims: &[usize]) -> Vec<(String, Table)> {
+    let libs = [
+        Library::CublasXt,
+        Library::XkBlas(XkVariant::Full),
+        Library::XkBlas(XkVariant::NoHeuristic),
+        Library::XkBlas(XkVariant::NoHeuristicNoTopo),
+    ];
+    xk_topo::fabrics::gallery()
+        .iter()
+        .map(|topo| {
+            let mut header = vec!["series".to_string()];
+            header.extend(dims.iter().map(|n| n.to_string()));
+            let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+            for lib in libs {
+                let pts = sweep_series_par(lib, topo, Routine::Gemm, dims, false, cache());
+                let mut row = vec![lib.name().to_string()];
+                row.extend(pts.iter().map(|p| fmt_tflops(p.tflops)));
+                t.row(row);
+            }
+            let pts = sweep_series_par(
+                Library::XkBlas(XkVariant::Full),
+                topo,
+                Routine::Gemm,
+                dims,
+                true,
+                cache(),
+            );
+            let mut row = vec!["XKBlas DoD".to_string()];
+            row.extend(pts.iter().map(|p| fmt_tflops(p.tflops)));
+            t.row(row);
+            (
+                format!("{} ({} GPUs, {} node(s))", topo.name(), topo.n_gpus(), topo.n_nodes()),
+                t,
+            )
+        })
+        .collect()
+}
+
 /// Table II: maximum loss/gain vs baseline XKBlas for N ≥ 16384.
-pub fn table2_gains(topo: &Topology, dims: &[usize]) -> Table {
+pub fn table2_gains(topo: &FabricSpec, dims: &[usize]) -> Table {
     let big: Vec<usize> = dims.iter().copied().filter(|&n| n >= 16384).collect();
     let mut t = Table::new(&["Kernel", "data-on-device", "no heuristic", "no heuristic, no topo"]);
     for routine in [Routine::Gemm, Routine::Syr2k, Routine::Trsm] {
@@ -148,7 +193,7 @@ pub fn table2_gains(topo: &Topology, dims: &[usize]) -> Table {
 
 /// Fig. 4: data-on-device (paper: tile = ceil(N / (2·#gpus)), (4,2) grid)
 /// vs the data-on-host references.
-pub fn fig4_data_on_device(topo: &Topology, dims: &[usize]) -> Vec<(Routine, Table)> {
+pub fn fig4_data_on_device(topo: &FabricSpec, dims: &[usize]) -> Vec<(Routine, Table)> {
     [Routine::Gemm, Routine::Syr2k, Routine::Trsm]
         .into_iter()
         .map(|routine| {
@@ -191,7 +236,7 @@ pub fn fig4_data_on_device(topo: &Topology, dims: &[usize]) -> Vec<(Routine, Tab
 }
 
 /// Fig. 5: all six routines across the eight libraries.
-pub fn fig5_libraries(topo: &Topology, dims: &[usize]) -> Vec<(Routine, Table)> {
+pub fn fig5_libraries(topo: &FabricSpec, dims: &[usize]) -> Vec<(Routine, Table)> {
     Routine::ALL
         .into_iter()
         .map(|routine| {
@@ -275,7 +320,7 @@ const FIG6_LIBS: [Library; 6] = [
 
 /// Fig. 6: cumulative GPU seconds and normalized ratio per operation kind
 /// for GEMM at the given dimension (paper: 32768).
-pub fn fig6_trace_gemm(topo: &Topology, n: usize) -> Table {
+pub fn fig6_trace_gemm(topo: &FabricSpec, n: usize) -> Table {
     let mut t = Table::new(&[
         "library", "DtoH s", "HtoD s", "PtoP s", "Kernel s", "DtoH %", "HtoD %", "PtoP %",
         "Kernel %", "xfer %",
@@ -306,7 +351,7 @@ pub fn fig6_trace_gemm(topo: &Topology, n: usize) -> Table {
 /// Fig. 6 companion: the per-library observability summary (hot links +
 /// critical-path composition) of the same GEMM runs, with the CP invariant
 /// asserted on every configuration.
-pub fn fig6_obs(topo: &Topology, n: usize) -> Vec<(Library, String)> {
+pub fn fig6_obs(topo: &FabricSpec, n: usize) -> Vec<(Library, String)> {
     FIG6_LIBS
         .iter()
         .filter_map(|&lib| {
@@ -318,7 +363,7 @@ pub fn fig6_obs(topo: &Topology, n: usize) -> Vec<(Library, String)> {
 }
 
 /// Fig. 7 companion: observability summaries of the SYR2K runs.
-pub fn fig7_obs(topo: &Topology, n: usize) -> Vec<(Library, String)> {
+pub fn fig7_obs(topo: &FabricSpec, n: usize) -> Vec<(Library, String)> {
     [Library::ChameleonTile, Library::CublasXt, Library::XkBlas(XkVariant::Full)]
         .into_iter()
         .filter_map(|lib| {
@@ -331,7 +376,7 @@ pub fn fig7_obs(topo: &Topology, n: usize) -> Vec<(Library, String)> {
 
 /// Fig. 7: per-GPU time breakdown of SYR2K at the given dimension
 /// (paper: 49152) for Chameleon Tile, cuBLAS-XT and XKBlas.
-pub fn fig7_trace_syr2k(topo: &Topology, n: usize) -> Vec<(Library, Table, f64)> {
+pub fn fig7_trace_syr2k(topo: &FabricSpec, n: usize) -> Vec<(Library, Table, f64)> {
     [Library::ChameleonTile, Library::CublasXt, Library::XkBlas(XkVariant::Full)]
         .into_iter()
         .filter_map(|lib| {
@@ -356,7 +401,7 @@ pub fn fig7_trace_syr2k(topo: &Topology, n: usize) -> Vec<(Library, Table, f64)>
 }
 
 /// Fig. 8: the TRSM+GEMM composition sweep.
-pub fn fig8_composition(topo: &Topology, dims: &[usize], tile: usize) -> Table {
+pub fn fig8_composition(topo: &FabricSpec, dims: &[usize], tile: usize) -> Table {
     let mut header = vec!["series".to_string()];
     header.extend(dims.iter().map(|n| n.to_string()));
     let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
@@ -372,7 +417,7 @@ pub fn fig8_composition(topo: &Topology, dims: &[usize], tile: usize) -> Table {
 }
 
 /// Fig. 9: Gantt charts of one composition run per library.
-pub fn fig9_gantt(topo: &Topology, n: usize, tile: usize, width: usize) -> String {
+pub fn fig9_gantt(topo: &FabricSpec, n: usize, tile: usize, width: usize) -> String {
     let opts = xk_trace::GanttOptions {
         width,
         per_lane: false,
@@ -407,7 +452,7 @@ pub fn fig9_gantt(topo: &Topology, n: usize, tile: usize, width: usize) -> Strin
 /// `results/` (open in `ui.perfetto.dev` or `chrome://tracing`); returns
 /// the written paths.
 pub fn fig9_export_traces(
-    topo: &Topology,
+    topo: &FabricSpec,
     n: usize,
     tile: usize,
 ) -> Result<Vec<std::path::PathBuf>, xk_runtime::Error> {

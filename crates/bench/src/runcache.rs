@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
 use xk_baselines::{run, Library, RunError, RunParams, RunResult};
-use xk_topo::Topology;
+use xk_topo::FabricSpec;
 
 pub use xk_serve::{CacheStats, QueryKey as RunKey, ShardedCache};
 
@@ -43,7 +43,7 @@ impl RunCache {
     pub fn run(
         &self,
         lib: Library,
-        topo: &Topology,
+        topo: &FabricSpec,
         params: &RunParams,
     ) -> Result<RunResult, RunError> {
         let key = RunKey::new(lib, topo, params);

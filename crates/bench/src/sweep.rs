@@ -9,7 +9,7 @@
 use rayon::prelude::*;
 use xk_baselines::{run, Library, RunError, RunParams, RunResult};
 use xk_kernels::Routine;
-use xk_topo::Topology;
+use xk_topo::FabricSpec;
 
 use crate::runcache::RunCache;
 
@@ -36,7 +36,7 @@ pub struct SeriesPoint {
 /// One run, through the memo cache when one is given.
 fn run_point(
     lib: Library,
-    topo: &Topology,
+    topo: &FabricSpec,
     params: &RunParams,
     cache: Option<&RunCache>,
 ) -> Result<RunResult, RunError> {
@@ -85,7 +85,7 @@ fn fold_best(
 /// the tile candidates. The winner is identical to the serial pick.
 pub fn best_tile_run_with(
     lib: Library,
-    topo: &Topology,
+    topo: &FabricSpec,
     routine: Routine,
     n: usize,
     data_on_device: bool,
@@ -131,7 +131,7 @@ pub fn best_tile_run_with(
 /// strict-`>` fold as the serial loop, so the winner is bit-identical.
 pub fn best_tile_run_batch(
     lib: Library,
-    topo: &Topology,
+    topo: &FabricSpec,
     routine: Routine,
     n: usize,
     data_on_device: bool,
@@ -166,7 +166,7 @@ pub fn best_tile_run_batch(
 /// keeping the best (§IV-A block-size selection).
 pub fn best_tile_run(
     lib: Library,
-    topo: &Topology,
+    topo: &FabricSpec,
     routine: Routine,
     n: usize,
     data_on_device: bool,
@@ -194,7 +194,7 @@ fn to_point(n: usize, outcome: Result<(usize, RunResult), RunError>) -> SeriesPo
 /// Sweeps a whole series of dimensions for one `(library, routine)`.
 pub fn sweep_series(
     lib: Library,
-    topo: &Topology,
+    topo: &FabricSpec,
     routine: Routine,
     dims: &[usize],
     data_on_device: bool,
@@ -210,7 +210,7 @@ pub fn sweep_series(
 /// serial sweep.
 pub fn sweep_series_par(
     lib: Library,
-    topo: &Topology,
+    topo: &FabricSpec,
     routine: Routine,
     dims: &[usize],
     data_on_device: bool,
@@ -233,7 +233,7 @@ pub fn sweep_series_par(
 /// ordered like `dims` and bit-identical to the serial sweep.
 pub fn sweep_series_batch(
     lib: Library,
-    topo: &Topology,
+    topo: &FabricSpec,
     routine: Routine,
     dims: &[usize],
     data_on_device: bool,

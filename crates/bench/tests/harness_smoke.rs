@@ -131,3 +131,41 @@ fn bandwidth_matrix_is_symmetric_positive() {
         }
     }
 }
+
+#[test]
+fn fabric_gallery_panels_complete() {
+    let tables = figs::fabric_gallery_gemm(&[4096, 8192]);
+    assert_eq!(tables.len(), 4, "one panel per gallery fabric");
+    for (name, t) in tables {
+        assert_eq!(t.len(), 5, "{name}: 4 library rows + DoD");
+        let csv = t.to_csv();
+        assert!(csv.contains("XKBlas DoD"), "{name}");
+        assert!(!csv.contains(",-"), "{name}: unexpected missing point:\n{csv}");
+    }
+}
+
+#[test]
+fn heuristics_rank_differently_across_fabrics() {
+    // The point of the fabric gallery: the paper's heuristics are
+    // topology-sensitive. On the DGX-1's heterogeneous cube mesh the full
+    // heuristic stack wins; on a 16-GPU NVSwitch machine every peer ranks
+    // the same and (at this size) the optimistic forwarding chain loses to
+    // plain earliest-arrival selection.
+    use xk_baselines::{run, Library, RunParams, XkVariant};
+    let params = RunParams {
+        routine: xk_kernels::Routine::Gemm,
+        n: 8192,
+        tile: 2048,
+        data_on_device: false,
+    };
+    let tflops = |topo: &xk_topo::FabricSpec, v: XkVariant| {
+        run(Library::XkBlas(v), topo, &params).expect("runs").tflops
+    };
+    let d = dgx1();
+    assert!(tflops(&d, XkVariant::Full) > tflops(&d, XkVariant::NoHeuristic));
+    let nvswitch = xk_topo::fabrics::dgx2(16);
+    assert!(
+        tflops(&nvswitch, XkVariant::Full) < tflops(&nvswitch, XkVariant::NoHeuristic),
+        "heuristic ranking should flip on the NVSwitch fabric"
+    );
+}

@@ -16,7 +16,7 @@ use std::collections::HashSet;
 use xk_runtime::cache::CoherenceMutation;
 use xk_runtime::{RuntimeConfig, SimExecutor, SimOutcome, SimPrep, TaskGraph};
 use xk_sim::run_replicas;
-use xk_topo::Topology;
+use xk_topo::FabricSpec;
 
 use crate::controllers::{DfsController, RandomController, ReplayController};
 use crate::witness::Witness;
@@ -60,7 +60,7 @@ pub struct DfsReport {
 
 fn run_one(
     graph: &TaskGraph,
-    topo: &Topology,
+    topo: &FabricSpec,
     cfg: &RuntimeConfig,
     mutation: Option<CoherenceMutation>,
     ctrl: &mut dyn xk_runtime::ScheduleController,
@@ -118,7 +118,7 @@ fn merge_seed_results(results: Vec<SeedResult>) -> ExploreReport {
 /// the checker's own mutation test).
 pub fn explore_random(
     graph: &TaskGraph,
-    topo: &Topology,
+    topo: &FabricSpec,
     cfg: &RuntimeConfig,
     seeds: impl IntoIterator<Item = u64>,
     mutation: Option<CoherenceMutation>,
@@ -131,7 +131,7 @@ pub fn explore_random(
 /// scenario; the report is identical to the serial one.
 pub fn explore_random_batch(
     graph: &TaskGraph,
-    topo: &Topology,
+    topo: &FabricSpec,
     cfg: &RuntimeConfig,
     seeds: impl IntoIterator<Item = u64>,
     mutation: Option<CoherenceMutation>,
@@ -165,7 +165,7 @@ pub fn explore_random_batch(
 /// systematically-skewed orderings a uniform sampler is unlikely to hit.
 pub fn explore_pct(
     graph: &TaskGraph,
-    topo: &Topology,
+    topo: &FabricSpec,
     cfg: &RuntimeConfig,
     seeds: impl IntoIterator<Item = u64>,
     change_every: u64,
@@ -177,7 +177,7 @@ pub fn explore_pct(
 /// available core), batched like [`explore_random_batch`].
 pub fn explore_pct_batch(
     graph: &TaskGraph,
-    topo: &Topology,
+    topo: &FabricSpec,
     cfg: &RuntimeConfig,
     seeds: impl IntoIterator<Item = u64>,
     change_every: u64,
@@ -207,7 +207,7 @@ pub fn explore_pct_batch(
 /// checking each against the differential oracle.
 pub fn explore_dfs(
     graph: &TaskGraph,
-    topo: &Topology,
+    topo: &FabricSpec,
     cfg: &RuntimeConfig,
     max_runs: usize,
 ) -> DfsReport {
@@ -243,7 +243,7 @@ pub fn explore_dfs(
 /// oracle. Returns the outcome and the oracle verdict.
 pub fn replay(
     graph: &TaskGraph,
-    topo: &Topology,
+    topo: &FabricSpec,
     cfg: &RuntimeConfig,
     choices: &[u32],
     mutation: Option<CoherenceMutation>,

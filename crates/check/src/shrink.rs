@@ -11,7 +11,7 @@ use std::path::{Path, PathBuf};
 
 use xk_bench::graphgen::{build_random_dag, RandomDagSpec};
 use xk_runtime::{Heuristics, RuntimeConfig, TaskGraph};
-use xk_topo::Topology;
+use xk_topo::FabricSpec;
 
 use crate::topo_util::subtopo;
 
@@ -48,7 +48,7 @@ impl ReplayCase {
 
     /// Rebuilds the scenario the case describes: the generated DAG, the
     /// first-`n_gpus` DGX-1 sub-machine, and the runtime configuration.
-    pub fn scenario(&self) -> (TaskGraph, Topology, RuntimeConfig) {
+    pub fn scenario(&self) -> (TaskGraph, FabricSpec, RuntimeConfig) {
         (
             build_random_dag(self.seed, &self.spec),
             subtopo(&xk_topo::dgx1(), self.n_gpus),

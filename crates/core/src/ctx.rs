@@ -17,7 +17,7 @@ use xk_runtime::{
     run_parallel, DataInfo, HandleId, ObsLevel, ParOutcome, RuntimeConfig, SimOutcome, SimSession,
     TaskAccess, TaskGraph, TaskLabel,
 };
-use xk_topo::{Device, Topology};
+use xk_topo::{Device, FabricSpec};
 
 use crate::matrix::{block_cyclic_owner, Matrix, TileMap};
 
@@ -32,7 +32,7 @@ enum Placement {
 
 /// The asynchronous BLAS context.
 pub struct Context<T: Scalar> {
-    topo: Topology,
+    topo: FabricSpec,
     cfg: RuntimeConfig,
     tile: usize,
     grid: (usize, usize),
@@ -53,7 +53,7 @@ impl<T: Scalar> Context<T> {
     ///
     /// The owner grid defaults to `(n_gpus/2, 2)` — the paper's `(4, 2)`
     /// grid on 8 GPUs.
-    pub fn new(topo: Topology, cfg: RuntimeConfig, tile: usize) -> Self {
+    pub fn new(topo: FabricSpec, cfg: RuntimeConfig, tile: usize) -> Self {
         assert!(tile > 0);
         let p = (topo.n_gpus() / 2).max(1);
         let q = if topo.n_gpus() >= 2 { 2 } else { 1 };
@@ -124,7 +124,7 @@ impl<T: Scalar> Context<T> {
     }
 
     /// The platform topology.
-    pub fn topology(&self) -> &Topology {
+    pub fn topology(&self) -> &FabricSpec {
         &self.topo
     }
 

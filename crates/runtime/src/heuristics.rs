@@ -5,7 +5,7 @@
 //! that initiates input transfers. They decide **where a tile comes from**.
 
 use xk_sim::SimTime;
-use xk_topo::{Device, Topology};
+use xk_topo::{Device, FabricSpec};
 
 use crate::cache::SoftwareCache;
 use crate::config::Heuristics;
@@ -54,7 +54,7 @@ pub fn select_source(
     dst: usize,
     now: SimTime,
     cache: &SoftwareCache,
-    topo: &Topology,
+    topo: &FabricSpec,
     cfg: Heuristics,
     tie_break: &mut dyn FnMut(&[usize]) -> usize,
 ) -> SourceDecision {

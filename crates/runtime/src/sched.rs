@@ -5,7 +5,7 @@
 //! so the comparison isolates exactly what the paper varies.
 
 use xk_sim::SimTime;
-use xk_topo::{Device, Topology};
+use xk_topo::{Device, FabricSpec};
 
 use crate::cache::SoftwareCache;
 use crate::config::SchedulerKind;
@@ -23,7 +23,7 @@ pub struct SchedView<'a> {
     /// Kernel seconds already assigned to each GPU and not yet finished.
     pub gpu_committed: &'a [f64],
     /// Platform topology.
-    pub topo: &'a Topology,
+    pub topo: &'a FabricSpec,
     /// Software cache (for transfer estimates / locality).
     pub cache: &'a SoftwareCache,
     /// GPU compute model.
@@ -218,7 +218,7 @@ mod tests {
     }
 
     fn view<'a>(
-        topo: &'a xk_topo::Topology,
+        topo: &'a xk_topo::FabricSpec,
         cache: &'a SoftwareCache,
         avail: &'a [SimTime],
         lens: &'a [usize],

@@ -27,7 +27,7 @@
 //! assert!(run.metrics().is_some()); // link occupancy, critical path, ...
 //! ```
 
-use xk_topo::Topology;
+use xk_topo::FabricSpec;
 
 use crate::config::RuntimeConfig;
 use crate::graph::TaskGraph;
@@ -44,7 +44,7 @@ use xk_trace::Trace;
 /// for many runs.
 #[derive(Debug)]
 pub struct SimSession<'t> {
-    topo: &'t Topology,
+    topo: &'t FabricSpec,
     cfg: RuntimeConfig,
     obs: ObsLevel,
     fault: Option<LinkFault>,
@@ -53,7 +53,7 @@ pub struct SimSession<'t> {
 impl<'t> SimSession<'t> {
     /// Starts a session on `topo` with the XKBlas-like default
     /// configuration and [`ObsLevel::Counters`] observability.
-    pub fn on(topo: &'t Topology) -> Self {
+    pub fn on(topo: &'t FabricSpec) -> Self {
         SimSession {
             topo,
             cfg: RuntimeConfig::xkblas(),

@@ -17,7 +17,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use xk_sim::{Clock, Duration, EngineId, EnginePool, SimTime};
-use xk_topo::{BusSegment, Device, Topology};
+use xk_topo::{BusSegment, Device, FabricSpec};
 use xk_trace::{FlowId, Label, Place, Span, SpanKind, Trace};
 
 use crate::cache::{Eviction, SoftwareCache};
@@ -115,7 +115,7 @@ struct GpuState {
 /// The simulated executor.
 pub struct SimExecutor<'a> {
     graph: &'a TaskGraph,
-    topo: &'a Topology,
+    topo: &'a FabricSpec,
     cfg: &'a RuntimeConfig,
     pool: EnginePool,
     gpus: Vec<GpuState>,
@@ -130,6 +130,11 @@ pub struct SimExecutor<'a> {
     /// pair has no NVLink) — the lookup sits on the per-transfer hot path
     /// and a flat index beats hashing a tuple key.
     nvlinks: Vec<Option<EngineId>>,
+    /// One NIC engine per node on multi-node fabrics (empty on single-node
+    /// machines, so DGX-1-era engine tables are untouched). Inter-node
+    /// routes reserve the NICs of both endpoints: the IB card is a shared
+    /// serialization point the way a PCIe switch uplink is.
+    nics: Vec<EngineId>,
     cache: SoftwareCache,
     clock: Clock<Ev>,
     pending: Vec<usize>,
@@ -239,7 +244,7 @@ impl<'a> SimExecutor<'a> {
     /// For batched replica runs over one graph, build a [`SimPrep`] once
     /// and use [`SimExecutor::with_prep`] instead — this constructor
     /// derives the same state from scratch every call.
-    pub fn new(graph: &'a TaskGraph, topo: &'a Topology, cfg: &'a RuntimeConfig) -> Self {
+    pub fn new(graph: &'a TaskGraph, topo: &'a FabricSpec, cfg: &'a RuntimeConfig) -> Self {
         Self::with_prep(graph, topo, cfg, &SimPrep::new(graph))
     }
 
@@ -249,7 +254,7 @@ impl<'a> SimExecutor<'a> {
     /// byte-identical to one from [`SimExecutor::new`].
     pub fn with_prep(
         graph: &'a TaskGraph,
-        topo: &'a Topology,
+        topo: &'a FabricSpec,
         cfg: &'a RuntimeConfig,
         prep: &SimPrep,
     ) -> Self {
@@ -283,6 +288,15 @@ impl<'a> SimExecutor<'a> {
             nvlinks[a * n + b] = Some(pool.add(format!("nvlink{a}->{b}")));
             nvlinks[b * n + a] = Some(pool.add(format!("nvlink{b}->{a}")));
         }
+        // NIC engines are appended *after* every legacy engine and only on
+        // multi-node fabrics, so single-node EngineIds stay bit-identical.
+        let nics: Vec<EngineId> = if topo.n_nodes() > 1 {
+            (0..topo.n_nodes())
+                .map(|nd| pool.add(format!("node{nd}.nic")))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let cache = SoftwareCache::new(n, cfg.gpu_memory, graph.data());
         // Intern every label up front: the event loop then records spans
         // with a copyable u32 instead of cloning a String per span. The
@@ -314,6 +328,7 @@ impl<'a> SimExecutor<'a> {
             uplinks,
             intersocket,
             nvlinks,
+            nics,
             cache,
             // Each task typically produces a TaskDone plus a handful of
             // TryLaunch events; pre-reserving avoids queue regrowth
@@ -851,7 +866,7 @@ impl<'a> SimExecutor<'a> {
                 self.issue_p2p(h, via, g, now.max(ready_at), info.bytes)
             }
             SourceDecision::FromHost => {
-                let route = self.topo.route(Device::Host, Device::Gpu(g));
+                let route = self.topo.route_ref(Device::Host, Device::Gpu(g));
                 let mut bw = route.bandwidth;
                 if info.pitched {
                     bw *= PITCHED_COPY_FACTOR;
@@ -913,7 +928,7 @@ impl<'a> SimExecutor<'a> {
         bytes: u64,
     ) -> (SimTime, u32, FlowId) {
         let n = self.gpus.len();
-        let route = self.topo.route(Device::Gpu(src), Device::Gpu(dst));
+        let route = self.topo.route_ref(Device::Gpu(src), Device::Gpu(dst));
         // Device copies are compacted tiles (§III-A): full link bandwidth.
         let dur = Duration::new(route.latency + bytes as f64 / route.bandwidth);
         // NVLink routes use the dedicated directional brick; PCIe peer
@@ -992,7 +1007,7 @@ impl<'a> SimExecutor<'a> {
 
     fn issue_d2h(&mut self, h: HandleId, g: usize, earliest: SimTime) -> SimTime {
         let info = self.graph.data().info(h);
-        let route = self.topo.route(Device::Gpu(g), Device::Host);
+        let route = self.topo.route_ref(Device::Gpu(g), Device::Host);
         let mut bw = route.bandwidth;
         if info.pitched {
             bw *= PITCHED_COPY_FACTOR;
@@ -1042,6 +1057,7 @@ impl<'a> SimExecutor<'a> {
         out.extend(segments.iter().map(|s| match s {
             BusSegment::HostUplink(sw) => self.uplinks[*sw],
             BusSegment::InterSocket => self.intersocket,
+            BusSegment::InterNode(nd) => self.nics[*nd],
         }));
     }
 
@@ -1136,14 +1152,14 @@ impl<'a> SimExecutor<'a> {
             session front door also exposes observability (`Run::metrics`) \
             and trace export"
 )]
-pub fn simulate(graph: &TaskGraph, topo: &Topology, cfg: &RuntimeConfig) -> SimOutcome {
+pub fn simulate(graph: &TaskGraph, topo: &FabricSpec, cfg: &RuntimeConfig) -> SimOutcome {
     // The historical entry point recorded nothing beyond the trace.
     SimExecutor::new(graph, topo, cfg).observe(ObsLevel::Off).run()
 }
 
 /// Point-to-point bandwidth matrix of a topology: one `bytes`-sized
 /// transfer between every device pair on an idle machine (Fig. 2).
-pub(crate) fn bandwidth_matrix_of(topo: &Topology, bytes: u64) -> Vec<Vec<f64>> {
+pub(crate) fn bandwidth_matrix_of(topo: &FabricSpec, bytes: u64) -> Vec<Vec<f64>> {
     let n = topo.n_gpus();
     let mut out = vec![vec![0.0; n]; n];
     for (i, row) in out.iter_mut().enumerate() {
@@ -1163,7 +1179,7 @@ pub(crate) fn bandwidth_matrix_of(topo: &Topology, bytes: u64) -> Vec<Vec<f64>> 
     since = "0.5.0",
     note = "use `SimSession::on(topo).bandwidth_matrix(bytes)`"
 )]
-pub fn measure_bandwidth_matrix(topo: &Topology, bytes: u64) -> Vec<Vec<f64>> {
+pub fn measure_bandwidth_matrix(topo: &FabricSpec, bytes: u64) -> Vec<Vec<f64>> {
     bandwidth_matrix_of(topo, bytes)
 }
 
@@ -1191,7 +1207,7 @@ mod tests {
 
     /// Shadows the deprecated free function: unit tests run at
     /// [`ObsLevel::Full`] so every path also exercises the recorder.
-    fn simulate(graph: &TaskGraph, topo: &Topology, cfg: &RuntimeConfig) -> SimOutcome {
+    fn simulate(graph: &TaskGraph, topo: &FabricSpec, cfg: &RuntimeConfig) -> SimOutcome {
         SimExecutor::new(graph, topo, cfg).observe(ObsLevel::Full).run()
     }
 

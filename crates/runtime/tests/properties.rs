@@ -7,11 +7,11 @@ use xk_runtime::task::{Access, TaskAccess};
 use xk_runtime::{
     DataInfo, Heuristics, RuntimeConfig, SchedulerKind, SimOutcome, SimSession, TaskGraph,
 };
-use xk_topo::{dgx1, Topology};
+use xk_topo::{dgx1, FabricSpec};
 use xk_trace::SpanKind;
 
 /// All simulated runs go through the session front door.
-fn simulate(graph: &TaskGraph, topo: &Topology, cfg: &RuntimeConfig) -> SimOutcome {
+fn simulate(graph: &TaskGraph, topo: &FabricSpec, cfg: &RuntimeConfig) -> SimOutcome {
     SimSession::on(topo).config(cfg.clone()).run(graph).into_outcome()
 }
 

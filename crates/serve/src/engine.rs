@@ -25,7 +25,7 @@ use std::sync::{Arc, Mutex};
 use xk_baselines::{
     build_run_graph, run, run_prepped, Library, RunError, RunParams, RunResult, XkVariant,
 };
-use xk_topo::Topology;
+use xk_topo::FabricSpec;
 
 use crate::interp::CurveTable;
 use crate::key::QueryKey;
@@ -131,7 +131,7 @@ pub struct EngineStats {
 /// A sharded, single-flight, two-tier query engine over one topology.
 #[derive(Debug)]
 pub struct ServeEngine {
-    topo: Topology,
+    topo: FabricSpec,
     cache: ShardedCache,
     curves: CurveTable,
     interpolated: AtomicU64,
@@ -158,7 +158,7 @@ fn answer_from_exact(key: QueryKey, result: RunResult, source: Source) -> Answer
 
 impl ServeEngine {
     /// A fresh engine on `topo`.
-    pub fn new(topo: Topology) -> Self {
+    pub fn new(topo: FabricSpec) -> Self {
         ServeEngine {
             topo,
             cache: ShardedCache::new(),
@@ -168,7 +168,7 @@ impl ServeEngine {
     }
 
     /// The engine's platform.
-    pub fn topology(&self) -> &Topology {
+    pub fn topology(&self) -> &FabricSpec {
         &self.topo
     }
 

@@ -33,7 +33,7 @@ pub struct CurveKey {
     pub tile: usize,
     /// Data-on-device methodology.
     pub data_on_device: bool,
-    /// [`xk_topo::Topology::fingerprint`] of the platform.
+    /// [`xk_topo::FabricSpec::fingerprint`] of the platform.
     pub topo_fingerprint: u64,
 }
 

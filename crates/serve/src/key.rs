@@ -7,7 +7,7 @@
 
 use xk_baselines::{Library, RunParams, XkVariant};
 use xk_kernels::Routine;
-use xk_topo::Topology;
+use xk_topo::FabricSpec;
 
 /// Everything that determines a simulated run: the cache/query key.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -22,13 +22,13 @@ pub struct QueryKey {
     pub tile: usize,
     /// Data-on-device methodology.
     pub data_on_device: bool,
-    /// [`Topology::fingerprint`] of the platform.
+    /// [`FabricSpec::fingerprint`] of the platform.
     pub topo_fingerprint: u64,
 }
 
 impl QueryKey {
     /// Builds the key for one run.
-    pub fn new(lib: Library, topo: &Topology, params: &RunParams) -> Self {
+    pub fn new(lib: Library, topo: &FabricSpec, params: &RunParams) -> Self {
         QueryKey {
             library: lib,
             routine: params.routine,

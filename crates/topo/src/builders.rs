@@ -1,58 +1,37 @@
 //! Builders for alternative topologies used by tests, examples and the
 //! "portability to other architectures" discussion of the paper (§V).
+//! Each is a [`FabricBuilder`] declaration; the larger showcase machines
+//! live in [`crate::fabrics`].
 
+use crate::builder::FabricBuilder;
+use crate::fabric::{FabricSpec, LinkSpec};
 use crate::link::{bw, LinkClass};
-use crate::topology::{LinkSpec, Topology};
-
-fn local() -> LinkSpec {
-    LinkSpec::new(LinkClass::Local, bw::DEVICE_MEMORY)
-}
 
 /// A node whose GPUs only communicate through PCIe (no NVLink at all) —
 /// the worst case for the topology-aware heuristic (every source is rank 0),
 /// the best case for the optimistic heuristic (every host re-read hurts).
-pub fn pcie_only(n_gpus: usize) -> Topology {
+pub fn pcie_only(n_gpus: usize) -> FabricSpec {
     assert!(n_gpus >= 1);
-    let pcie = LinkSpec::new(LinkClass::Pcie, bw::PCIE_P2P);
-    let mut gg = vec![pcie; n_gpus * n_gpus];
-    for i in 0..n_gpus {
-        gg[i * n_gpus + i] = local();
-    }
-    let host = LinkSpec::new(LinkClass::Pcie, bw::PCIE_HOST);
-    // Two GPUs per switch, switches split over two sockets.
+    // Two GPUs per switch, switches alternating over two sockets.
     let n_switches = n_gpus.div_ceil(2);
-    let gpu_switch = (0..n_gpus).map(|g| g / 2).collect();
-    let switch_socket = (0..n_switches).map(|s| s % 2).collect();
-    Topology::from_tables(
-        format!("pcie-only-{n_gpus}"),
-        n_gpus,
-        gg,
-        vec![host; n_gpus],
-        gpu_switch,
-        switch_socket,
-    )
+    FabricBuilder::named(format!("pcie-only-{n_gpus}"))
+        .gpus(n_gpus)
+        .socket_map((0..n_switches).map(|s| s % 2).collect())
+        .build()
 }
 
-/// A hypothetical node where every GPU pair has a double NVLink (NVSwitch /
-/// DGX-2 style all-to-all). Topology-aware source selection is irrelevant
-/// here because every peer has the same rank.
-pub fn nvlink_all_to_all(n_gpus: usize) -> Topology {
+/// A hypothetical node where every GPU pair has a double NVLink (the
+/// pre-tier approximation of an NVSwitch all-to-all; see
+/// [`crate::fabrics::dgx2`] for the real switch-tier model). Topology-aware
+/// source selection is irrelevant here because every peer has the same rank.
+pub fn nvlink_all_to_all(n_gpus: usize) -> FabricSpec {
     assert!(n_gpus >= 1);
-    let nv2 = LinkSpec::new(LinkClass::NvLink2, bw::NVLINK2);
-    let mut gg = vec![nv2; n_gpus * n_gpus];
-    for i in 0..n_gpus {
-        gg[i * n_gpus + i] = local();
-    }
-    let host = LinkSpec::new(LinkClass::Pcie, bw::PCIE_HOST);
     let n_switches = n_gpus.div_ceil(2);
-    Topology::from_tables(
-        format!("nvswitch-{n_gpus}"),
-        n_gpus,
-        gg,
-        vec![host; n_gpus],
-        (0..n_gpus).map(|g| g / 2).collect(),
-        (0..n_switches).map(|s| s % 2).collect(),
-    )
+    FabricBuilder::named(format!("nvswitch-{n_gpus}"))
+        .gpus(n_gpus)
+        .peer_default(LinkClass::NvLink2, bw::NVLINK2)
+        .socket_map((0..n_switches).map(|s| s % 2).collect())
+        .build()
 }
 
 /// A Summit/Sierra-style node: 6 GPUs, 3 per POWER9 socket; GPUs of a socket
@@ -60,72 +39,43 @@ pub fn nvlink_all_to_all(n_gpus: usize) -> Topology {
 /// (modelled as PCIe-class); the host links are NVLink (~50 GB/s), so —
 /// as §III-C of the paper predicts — the optimistic device-to-device
 /// heuristic should bring little benefit here.
-pub fn summit_node() -> Topology {
-    let n = 6;
-    let pcie = LinkSpec::new(LinkClass::Pcie, bw::PCIE_P2P);
-    let nv2 = LinkSpec::new(LinkClass::NvLink2, bw::NVLINK2);
-    let mut gg = vec![pcie; n * n];
-    for i in 0..n {
-        for j in 0..n {
-            if i == j {
-                gg[i * n + j] = local();
-            } else if i / 3 == j / 3 {
-                gg[i * n + j] = nv2;
-            }
-        }
-    }
-    let host = LinkSpec::new(LinkClass::NvLinkHost, bw::NVLINK_HOST);
-    Topology::from_tables(
-        "summit-node",
-        n,
-        gg,
-        vec![host; n],
-        vec![0, 0, 0, 1, 1, 1],
-        vec![0, 1],
-    )
+pub fn summit_node() -> FabricSpec {
+    let same_socket: Vec<(usize, usize)> =
+        vec![(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)];
+    FabricBuilder::named("summit-node")
+        .gpus(6)
+        .links(&same_socket, LinkClass::NvLink2, bw::NVLINK2)
+        .host_link(LinkClass::NvLinkHost, bw::NVLINK_HOST)
+        .gpus_per_switch(3)
+        .switches_per_socket(1)
+        .build()
 }
 
 /// A unidirectional-ring-like topology: GPU `i` has a double NVLink to
 /// `(i+1) % n` and a single NVLink to `(i+2) % n`; everything else is PCIe.
 /// Useful to stress source selection with heterogeneous ranks on any `n`.
-pub fn nvlink_ring(n_gpus: usize) -> Topology {
+pub fn nvlink_ring(n_gpus: usize) -> FabricSpec {
     assert!(n_gpus >= 3, "ring needs at least 3 GPUs");
-    let pcie = LinkSpec::new(LinkClass::Pcie, bw::PCIE_P2P);
-    let nv2 = LinkSpec::new(LinkClass::NvLink2, bw::NVLINK2);
-    let nv1 = LinkSpec::new(LinkClass::NvLink1, bw::NVLINK1);
-    let mut gg = vec![pcie; n_gpus * n_gpus];
+    let n_switches = n_gpus.div_ceil(2);
+    let mut b = FabricBuilder::named(format!("ring-{n_gpus}"))
+        .gpus(n_gpus)
+        .socket_map((0..n_switches).map(|s| s % 2).collect());
     for i in 0..n_gpus {
-        gg[i * n_gpus + i] = local();
-    }
-    let mut set = |a: usize, b: usize, s: LinkSpec| {
-        gg[a * n_gpus + b] = s;
-        gg[b * n_gpus + a] = s;
-    };
-    for i in 0..n_gpus {
-        set(i, (i + 1) % n_gpus, nv2);
+        b = b.link(i, (i + 1) % n_gpus, LinkClass::NvLink2, bw::NVLINK2);
     }
     if n_gpus > 4 {
         for i in 0..n_gpus {
-            set(i, (i + 2) % n_gpus, nv1);
+            b = b.link(i, (i + 2) % n_gpus, LinkClass::NvLink1, bw::NVLINK1);
         }
     }
-    let host = LinkSpec::new(LinkClass::Pcie, bw::PCIE_HOST);
-    let n_switches = n_gpus.div_ceil(2);
-    Topology::from_tables(
-        format!("ring-{n_gpus}"),
-        n_gpus,
-        gg,
-        vec![host; n_gpus],
-        (0..n_gpus).map(|g| g / 2).collect(),
-        (0..n_switches).map(|s| s % 2).collect(),
-    )
+    b.build()
 }
 
 /// Builds a topology from a GPU↔GPU bandwidth matrix in GB/s, classifying
 /// each entry by thresholds (≥ 80 → NVLink2, ≥ 40 → NVLink1, else PCIe).
 /// This mirrors calibrating against a measured matrix like the paper's
 /// Fig. 2.
-pub fn from_bandwidth_matrix_gbs(name: impl Into<String>, matrix: &[Vec<f64>]) -> Topology {
+pub fn from_bandwidth_matrix_gbs(name: impl Into<String>, matrix: &[Vec<f64>]) -> FabricSpec {
     let n = matrix.len();
     assert!(n >= 1 && matrix.iter().all(|row| row.len() == n));
     let mut gg = Vec::with_capacity(n * n);
@@ -146,16 +96,12 @@ pub fn from_bandwidth_matrix_gbs(name: impl Into<String>, matrix: &[Vec<f64>]) -
             gg.push(LinkSpec::new(class, sym * 1e9));
         }
     }
-    let host = LinkSpec::new(LinkClass::Pcie, bw::PCIE_HOST);
     let n_switches = n.div_ceil(2);
-    Topology::from_tables(
-        name,
-        n,
-        gg,
-        vec![host; n],
-        (0..n).map(|g| g / 2).collect(),
-        (0..n_switches).map(|s| s % 2).collect(),
-    )
+    FabricBuilder::named(name)
+        .gpus(n)
+        .peer_table(gg)
+        .socket_map((0..n_switches).map(|s| s % 2).collect())
+        .build()
 }
 
 #[cfg(test)]
@@ -177,12 +123,16 @@ mod tests {
     }
 
     #[test]
-    fn all_to_all_is_uniform_rank2() {
+    fn all_to_all_is_uniform_rank() {
         let t = nvlink_all_to_all(8);
+        // One bandwidth ladder step between peer links and local copies:
+        // every peer ranks 0, every local copy ranks 1.
         for a in 0..8 {
             for b in 0..8 {
                 if a != b {
-                    assert_eq!(t.perf_rank(a, b), 2);
+                    assert_eq!(t.perf_rank(a, b), 0);
+                } else {
+                    assert_eq!(t.perf_rank(a, b), 1);
                 }
             }
         }
@@ -192,10 +142,11 @@ mod tests {
     fn summit_host_links_are_nvlink() {
         let t = summit_node();
         assert_eq!(t.host_link(0).class, LinkClass::NvLinkHost);
-        assert_eq!(t.perf_rank(0, 1), 2); // same socket
+        // Ladder {PCIe, NVLink2, local}: same-socket beats cross-socket.
+        assert_eq!(t.perf_rank(0, 1), 1); // same socket
         assert_eq!(t.perf_rank(0, 3), 0); // cross socket
         // Host NVLink routes have no shared PCIe segments.
-        let r = t.route(crate::topology::Device::Host, crate::topology::Device::Gpu(0));
+        let r = t.route(crate::fabric::Device::Host, crate::fabric::Device::Gpu(0));
         assert!(r.segments.is_empty());
     }
 
@@ -204,10 +155,18 @@ mod tests {
         for n in [3, 4, 5, 8, 12] {
             let t = nvlink_ring(n);
             t.validate().unwrap();
-            assert_eq!(t.perf_rank(0, 1), 2);
+            // The nearest neighbour is always the best-ranked peer.
+            for other in 2..n - 1 {
+                assert!(
+                    t.perf_rank(0, 1) >= t.perf_rank(0, other),
+                    "n={n} other={other}"
+                );
+            }
         }
-        // Ring of 8: neighbors at distance 2 get single links.
+        // Ring of 8 has all three ladder steps: double link, single link,
+        // PCIe — the full DGX-1-style rank spread.
         let t = nvlink_ring(8);
+        assert_eq!(t.perf_rank(0, 1), 2);
         assert_eq!(t.perf_rank(0, 2), 1);
         assert_eq!(t.perf_rank(0, 4), 0);
     }

@@ -2,8 +2,9 @@
 //! hybrid cube-mesh NVLink-2 network, four PCIe Gen3 switches (two GPUs
 //! each) and two Xeon E5-2698 v4 sockets (paper Fig. 1, Fig. 2, Table I).
 
+use crate::builder::FabricBuilder;
+use crate::fabric::FabricSpec;
 use crate::link::{bw, LinkClass};
-use crate::topology::{LinkSpec, Topology};
 
 /// NVLink edges of the DGX-1 hybrid cube mesh with two bonded bricks
 /// (~96 GB/s), extracted from the bandwidth matrix of the paper's Fig. 2.
@@ -47,43 +48,27 @@ pub const DGX1_TABLE1: &[(&str, &str)] = &[
     ("OS", "GNU/Linux, kernel 4.19.146"),
 ];
 
-/// Builds the DGX-1 topology of the paper.
+/// Builds the DGX-1 fabric of the paper — one instance of the general
+/// [`FabricSpec`] schema, declared through [`FabricBuilder`] like every
+/// other fabric.
 ///
 /// GPUs 0–3 sit on switches 0–1 (socket 0), GPUs 4–7 on switches 2–3
 /// (socket 1); each switch hosts a consecutive GPU pair, matching Fig. 1.
-pub fn dgx1() -> Topology {
-    let n = 8;
-    let local = LinkSpec::new(LinkClass::Local, bw::DEVICE_MEMORY);
-    let pcie = LinkSpec::new(LinkClass::Pcie, bw::PCIE_P2P);
-    let mut gg = vec![pcie; n * n];
-    for i in 0..n {
-        gg[i * n + i] = local;
-    }
-    for &(a, b) in DGX1_NVLINK2_EDGES.iter() {
-        let s = LinkSpec::new(LinkClass::NvLink2, bw::NVLINK2);
-        gg[a * n + b] = s;
-        gg[b * n + a] = s;
-    }
-    for &(a, b) in DGX1_NVLINK1_EDGES.iter() {
-        let s = LinkSpec::new(LinkClass::NvLink1, bw::NVLINK1);
-        gg[a * n + b] = s;
-        gg[b * n + a] = s;
-    }
-    let host = LinkSpec::new(LinkClass::Pcie, bw::PCIE_HOST);
-    Topology::from_tables(
-        "dgx1",
-        n,
-        gg,
-        vec![host; n],
-        vec![0, 0, 1, 1, 2, 2, 3, 3],
-        vec![0, 0, 1, 1],
-    )
+/// The builder defaults (PCIe P2P peers, PCIe host links, two GPUs per
+/// switch, two switches per socket) *are* the DGX-1 layout; only the cube
+/// mesh's NVLink edges need declaring.
+pub fn dgx1() -> FabricSpec {
+    FabricBuilder::named("dgx1")
+        .gpus(8)
+        .links(&DGX1_NVLINK2_EDGES, LinkClass::NvLink2, bw::NVLINK2)
+        .links(&DGX1_NVLINK1_EDGES, LinkClass::NvLink1, bw::NVLINK1)
+        .build()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::topology::Device;
+    use crate::fabric::Device;
 
     #[test]
     fn every_gpu_has_six_nvlink_bricks() {
@@ -151,7 +136,7 @@ mod tests {
         assert_eq!(r.class, LinkClass::Pcie);
         assert!(r
             .segments
-            .contains(&crate::topology::BusSegment::InterSocket));
+            .contains(&crate::fabric::BusSegment::InterSocket));
     }
 
     #[test]

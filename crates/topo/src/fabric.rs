@@ -1,5 +1,11 @@
-//! The platform topology model: devices, links, routes and shared bus
-//! segments.
+//! The fabric description layer: devices, links, switch tiers, shared bus
+//! segments, node boundaries and hierarchical routing tables.
+//!
+//! [`FabricSpec`] is the general machine description; the DGX-1 of the paper
+//! ([`crate::dgx1`]) is one instance of it, built through the same
+//! [`crate::FabricBuilder`] as every other fabric in [`crate::fabrics`].
+
+use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 
@@ -43,7 +49,10 @@ impl std::fmt::Display for Device {
 /// Transfers whose routes cross the same segment contend for it (the
 /// simulated executors map each segment to an [`xk_sim`] engine). NVLink
 /// bricks are *not* segments: they are dedicated point-to-point and already
-/// serialized by the per-device copy engines.
+/// serialized by the per-device copy engines. NVSwitch planes are not
+/// segments either — the tier is non-blocking at full bisection, so the only
+/// contention point is each GPU's own port, which the per-GPU copy engines
+/// already model.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum BusSegment {
     /// The x16 uplink between PCIe switch `sw` and its root complex. On a
@@ -51,12 +60,15 @@ pub enum BusSegment {
     HostUplink(usize),
     /// The inter-socket link (QPI on the DGX-1's Xeons).
     InterSocket,
+    /// The NIC of node `node`: every transfer entering or leaving the node
+    /// funnels through it.
+    InterNode(usize),
 }
 
 /// Physical characteristics of one point-to-point link.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct LinkSpec {
-    /// Link classification (drives the heuristic's performance rank).
+    /// Link classification (reporting + route segment derivation).
     pub class: LinkClass,
     /// Sustained bandwidth in bytes/second.
     pub bandwidth: f64,
@@ -70,6 +82,7 @@ impl LinkSpec {
         let latency = match class {
             LinkClass::Pcie => lat::PCIE,
             LinkClass::Local => lat::LOCAL,
+            LinkClass::InterNode => lat::PCIE + 3.0 * lat::IB_HOP,
             _ => lat::NVLINK,
         };
         LinkSpec {
@@ -78,6 +91,22 @@ impl LinkSpec {
             latency,
         }
     }
+}
+
+/// A non-blocking switch plane connecting every GPU of a node all-to-all
+/// (DGX-2 style NVSwitch).
+///
+/// The [`crate::FabricBuilder`] expands a tier into the pairwise link table
+/// (each same-node pair gets a [`LinkClass::NvSwitch`] link at the port
+/// bandwidth, crossing two hops); the spec keeps the tier itself so
+/// fingerprints, reports and relabeling tools can see the structure.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SwitchTier {
+    /// Bandwidth of one GPU's port into the plane, bytes/second. The plane
+    /// itself is full-bisection, so the port is the only bottleneck.
+    pub port_bandwidth: f64,
+    /// Latency of one hop through the plane; a GPU↔GPU route crosses two.
+    pub hop_latency: f64,
 }
 
 /// A resolved route between two devices.
@@ -101,13 +130,24 @@ impl Route {
     }
 }
 
-/// A complete multi-GPU node description.
+fn default_n_nodes() -> usize {
+    1
+}
+
+/// A complete multi-GPU fabric description.
 ///
-/// Construct one with the builders in [`crate::builders`] or
-/// [`crate::dgx1()`], or deserialize a custom one; [`Topology::validate`]
-/// checks internal consistency.
+/// Construct one with [`crate::FabricBuilder`], the named constructors in
+/// [`crate::fabrics`] / [`crate::builders`] / [`crate::dgx1()`], or
+/// deserialize a custom one; [`FabricSpec::validate`] checks internal
+/// consistency.
+///
+/// The spec is hierarchical: GPUs hang off PCIe switches, switches off
+/// sockets, and (for multi-node fabrics) GPUs belong to nodes joined by
+/// NIC/IB links. [`FabricSpec::route`] resolves any device pair against
+/// those tables; [`FabricSpec::route_ref`] serves the same answer from a
+/// lazily built routing table without allocating.
 #[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct Topology {
+pub struct FabricSpec {
     name: String,
     n_gpus: usize,
     /// `n_gpus × n_gpus`, row-major; diagonal entries are `Local`.
@@ -118,13 +158,34 @@ pub struct Topology {
     gpu_switch: Vec<usize>,
     /// Socket per PCIe switch.
     switch_socket: Vec<usize>,
+    /// Node per GPU; empty means "all on node 0" (single-node fabrics
+    /// serialized before nodes existed deserialize to that).
+    #[serde(default)]
+    gpu_node: Vec<usize>,
+    /// Number of nodes (1 for every single-node fabric).
+    #[serde(default = "default_n_nodes")]
+    n_nodes: usize,
+    /// The NIC/IB link joining nodes, when `n_nodes > 1`.
+    #[serde(default)]
+    inter_node: Option<LinkSpec>,
+    /// The NVSwitch plane the pairwise table was expanded from, if any.
+    #[serde(default)]
+    switch_tier: Option<SwitchTier>,
+    /// Sorted distinct GPU↔GPU route bandwidths; `perf_rank` is the index
+    /// into this ladder. Derived, never serialized.
+    #[serde(skip)]
+    rank_levels: OnceLock<Vec<f64>>,
+    /// Flattened routing table over all device pairs. Derived lazily.
+    #[serde(skip)]
+    routes: OnceLock<Box<[Route]>>,
 }
 
-impl Topology {
-    /// Builds a topology from its raw tables. Prefer the named builders.
+impl FabricSpec {
+    /// Builds a single-node fabric from its raw tables (the legacy
+    /// `Topology` constructor). Prefer [`crate::FabricBuilder`].
     ///
     /// # Panics
-    /// Panics if the tables are inconsistent (see [`Topology::validate`]).
+    /// Panics if the tables are inconsistent (see [`FabricSpec::validate`]).
     pub fn from_tables(
         name: impl Into<String>,
         n_gpus: usize,
@@ -133,20 +194,58 @@ impl Topology {
         gpu_switch: Vec<usize>,
         switch_socket: Vec<usize>,
     ) -> Self {
-        let t = Topology {
-            name: name.into(),
+        Self::from_parts(
+            name.into(),
             n_gpus,
             gpu_gpu,
             host_gpu,
             gpu_switch,
             switch_socket,
+            Vec::new(),
+            1,
+            None,
+            None,
+        )
+        .expect("inconsistent topology tables")
+    }
+
+    /// Builds a fabric from every table, including the multi-node and
+    /// switch-tier extensions. This is the single assembly point used by
+    /// [`crate::FabricBuilder::try_build`] and topology-surgery tools.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        name: String,
+        n_gpus: usize,
+        gpu_gpu: Vec<LinkSpec>,
+        host_gpu: Vec<LinkSpec>,
+        gpu_switch: Vec<usize>,
+        switch_socket: Vec<usize>,
+        gpu_node: Vec<usize>,
+        n_nodes: usize,
+        inter_node: Option<LinkSpec>,
+        switch_tier: Option<SwitchTier>,
+    ) -> Result<Self, String> {
+        let t = FabricSpec {
+            name,
+            n_gpus,
+            gpu_gpu,
+            host_gpu,
+            gpu_switch,
+            switch_socket,
+            gpu_node,
+            n_nodes,
+            inter_node,
+            switch_tier,
+            rank_levels: OnceLock::new(),
+            routes: OnceLock::new(),
         };
-        t.validate().expect("inconsistent topology tables");
-        t
+        t.validate()?;
+        Ok(t)
     }
 
     /// Checks internal consistency: table sizes, symmetric GPU↔GPU links,
-    /// `Local` diagonal, and valid switch/socket indices.
+    /// `Local` diagonal, valid switch/socket indices, and — for multi-node
+    /// fabrics — that exactly the cross-node pairs use NIC links.
     pub fn validate(&self) -> Result<(), String> {
         let n = self.n_gpus;
         if self.gpu_gpu.len() != n * n {
@@ -187,10 +286,47 @@ impl Topology {
                 return Err(format!("non-positive host bandwidth for gpu{i}"));
             }
         }
+        // Multi-node extension invariants.
+        if self.n_nodes == 0 {
+            return Err("n_nodes must be at least 1".into());
+        }
+        if !self.gpu_node.is_empty() && self.gpu_node.len() != n {
+            return Err(format!("gpu_node has {} entries, want {n} or 0", self.gpu_node.len()));
+        }
+        for (i, &nd) in self.gpu_node.iter().enumerate() {
+            if nd >= self.n_nodes {
+                return Err(format!("gpu{i} references unknown node {nd}"));
+            }
+        }
+        if self.n_nodes > 1 && self.inter_node.is_none() {
+            return Err("multi-node fabric without an inter_node link".into());
+        }
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let cross = self.node_of(i) != self.node_of(j);
+                let is_nic = self.gpu_gpu[i * n + j].class == LinkClass::InterNode;
+                if cross && !is_nic {
+                    return Err(format!("gpu{i}↔gpu{j} cross nodes but are not a NIC link"));
+                }
+                if !cross && is_nic {
+                    return Err(format!("gpu{i}↔gpu{j} share a node but use a NIC link"));
+                }
+            }
+        }
+        for (i, h) in self.host_gpu.iter().enumerate() {
+            if (h.class == LinkClass::InterNode) != (self.node_of(i) != 0) {
+                return Err(format!(
+                    "host link of gpu{i} must be a NIC link iff the GPU is on a remote node"
+                ));
+            }
+        }
         Ok(())
     }
 
-    /// Topology display name (e.g. `"dgx1"`).
+    /// Fabric display name (e.g. `"dgx1"`).
     pub fn name(&self) -> &str {
         &self.name
     }
@@ -205,6 +341,11 @@ impl Topology {
         self.switch_socket.len()
     }
 
+    /// Number of nodes (1 for single-node fabrics).
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
     /// PCIe switch hosting `gpu`.
     pub fn switch_of(&self, gpu: usize) -> usize {
         self.gpu_switch[gpu]
@@ -213,6 +354,27 @@ impl Topology {
     /// Socket hosting `gpu` (through its PCIe switch).
     pub fn socket_of(&self, gpu: usize) -> usize {
         self.switch_socket[self.gpu_switch[gpu]]
+    }
+
+    /// Socket hosting PCIe switch `sw`.
+    pub fn socket_of_switch(&self, sw: usize) -> usize {
+        self.switch_socket[sw]
+    }
+
+    /// Node hosting `gpu` (0 for single-node fabrics; the host memory of a
+    /// multi-node fabric lives on node 0).
+    pub fn node_of(&self, gpu: usize) -> usize {
+        self.gpu_node.get(gpu).copied().unwrap_or(0)
+    }
+
+    /// The NIC/IB link joining nodes, when this is a multi-node fabric.
+    pub fn inter_node(&self) -> Option<&LinkSpec> {
+        self.inter_node.as_ref()
+    }
+
+    /// The NVSwitch plane the pairwise table was expanded from, if any.
+    pub fn switch_tier(&self) -> Option<&SwitchTier> {
+        self.switch_tier.as_ref()
     }
 
     /// Raw GPU↔GPU link spec.
@@ -227,17 +389,39 @@ impl Topology {
 
     /// The peer-to-peer performance rank between two GPUs, as the paper's
     /// heuristic reads it from `cuDeviceGetP2PAttribute`. Higher is better.
+    ///
+    /// The rank is *derived*: it is the position of the pair's link
+    /// bandwidth in the sorted ladder of distinct GPU↔GPU link bandwidths
+    /// of this fabric. On the DGX-1 that reproduces the paper's ranks
+    /// exactly (PCIe = 0, one NVLink brick = 1, two bricks = 2, local = 3);
+    /// on other fabrics it adapts to whatever bandwidth classes exist
+    /// instead of hard-coding DGX-1 link classes.
     pub fn perf_rank(&self, a: usize, b: usize) -> u8 {
-        self.gpu_link(a, b).class.perf_rank()
+        let bw = self.gpu_link(a, b).bandwidth;
+        let levels = self.rank_levels.get_or_init(|| {
+            let mut v: Vec<f64> = self.gpu_gpu.iter().map(|l| l.bandwidth).collect();
+            v.sort_by(|x, y| x.partial_cmp(y).expect("validated: finite bandwidths"));
+            v.dedup_by(|x, y| x.to_bits() == y.to_bits());
+            v
+        });
+        let idx = levels
+            .iter()
+            .position(|l| l.to_bits() == bw.to_bits())
+            .expect("gpu_gpu bandwidth missing from its own ladder");
+        idx.min(u8::MAX as usize) as u8
     }
 
     /// Resolves the route between two devices.
     ///
-    /// * GPU↔GPU over NVLink: the dedicated link, no shared segments.
+    /// * GPU↔GPU over NVLink or an NVSwitch port: the dedicated path, no
+    ///   shared segments.
     /// * GPU↔GPU over PCIe: bandwidth of the P2P PCIe path; crosses the host
     ///   uplinks of both switches and, across sockets, the inter-socket link.
+    /// * GPU↔GPU across nodes: crosses both switch uplinks and both NICs.
     /// * Host↔GPU over PCIe: crosses the GPU's switch uplink.
     /// * Host↔GPU over host NVLink (POWER9-style): dedicated, no segments.
+    /// * Host↔GPU across nodes: host memory lives on node 0, so the route
+    ///   crosses the GPU's uplink and both nodes' NICs.
     /// * Same device: local copy.
     pub fn route(&self, src: Device, dst: Device) -> Route {
         match (src, dst) {
@@ -258,10 +442,10 @@ impl Topology {
             }
             (Device::Gpu(a), Device::Gpu(b)) => {
                 let spec = self.gpu_link(a, b);
-                let segments = if spec.class == LinkClass::Pcie {
-                    self.pcie_p2p_segments(a, b)
-                } else {
-                    Vec::new()
+                let segments = match spec.class {
+                    LinkClass::Pcie => self.pcie_p2p_segments(a, b),
+                    LinkClass::InterNode => self.inter_node_segments(a, b),
+                    _ => Vec::new(),
                 };
                 Route {
                     class: spec.class,
@@ -272,10 +456,14 @@ impl Topology {
             }
             (Device::Host, Device::Gpu(g)) | (Device::Gpu(g), Device::Host) => {
                 let spec = self.host_link(g);
-                let segments = if spec.class == LinkClass::Pcie {
-                    vec![BusSegment::HostUplink(self.gpu_switch[g])]
-                } else {
-                    Vec::new()
+                let segments = match spec.class {
+                    LinkClass::Pcie => vec![BusSegment::HostUplink(self.gpu_switch[g])],
+                    LinkClass::InterNode => vec![
+                        BusSegment::HostUplink(self.gpu_switch[g]),
+                        BusSegment::InterNode(0),
+                        BusSegment::InterNode(self.node_of(g)),
+                    ],
+                    _ => Vec::new(),
                 };
                 Route {
                     class: spec.class,
@@ -285,6 +473,25 @@ impl Topology {
                 }
             }
         }
+    }
+
+    /// The same answer as [`FabricSpec::route`], served from a lazily built
+    /// flattened routing table — the executors' hot path, free of per-call
+    /// allocation.
+    pub fn route_ref(&self, src: Device, dst: Device) -> &Route {
+        let n = self.n_gpus;
+        let routes = self.routes.get_or_init(|| {
+            let dev = |i: usize| if i == n { Device::Host } else { Device::Gpu(i) };
+            let mut v = Vec::with_capacity((n + 1) * (n + 1));
+            for s in 0..=n {
+                for d in 0..=n {
+                    v.push(self.route(dev(s), dev(d)));
+                }
+            }
+            v.into_boxed_slice()
+        });
+        let idx = |d: Device| d.gpu_index().unwrap_or(n);
+        &routes[idx(src) * (n + 1) + idx(dst)]
     }
 
     fn pcie_p2p_segments(&self, a: usize, b: usize) -> Vec<BusSegment> {
@@ -304,6 +511,17 @@ impl Topology {
         segs
     }
 
+    fn inter_node_segments(&self, a: usize, b: usize) -> Vec<BusSegment> {
+        let (sa, sb) = (self.gpu_switch[a], self.gpu_switch[b]);
+        let (na, nb) = (self.node_of(a), self.node_of(b));
+        vec![
+            BusSegment::HostUplink(sa.min(sb)),
+            BusSegment::HostUplink(sa.max(sb)),
+            BusSegment::InterNode(na.min(nb)),
+            BusSegment::InterNode(na.max(nb)),
+        ]
+    }
+
     /// Analytic GPU↔GPU bandwidth matrix in GB/s (the model's version of the
     /// paper's Fig. 2, before any contention).
     pub fn bandwidth_matrix_gbs(&self) -> Vec<Vec<f64>> {
@@ -319,10 +537,14 @@ impl Topology {
 
     /// A deterministic 64-bit digest of every table that influences routing
     /// and timing: the memoization key component that distinguishes runs on
-    /// different platforms (`xk-bench`'s `RunCache`).
+    /// different platforms (`xk-bench`'s `RunCache`, `xk-serve`'s query
+    /// keys).
     ///
     /// Stable within a process (and across processes, since the hasher is
-    /// keyed with zeros); floats are hashed by their bit patterns.
+    /// keyed with zeros); floats are hashed by their bit patterns. The
+    /// multi-node and switch-tier extensions are hashed only when present,
+    /// so every fingerprint minted before they existed — the DGX-1's in
+    /// particular — is unchanged.
     pub fn fingerprint(&self) -> u64 {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -335,10 +557,27 @@ impl Topology {
         }
         self.gpu_switch.hash(&mut h);
         self.switch_socket.hash(&mut h);
+        if self.n_nodes > 1 {
+            self.n_nodes.hash(&mut h);
+            self.gpu_node.hash(&mut h);
+            if let Some(l) = &self.inter_node {
+                l.class.hash(&mut h);
+                l.bandwidth.to_bits().hash(&mut h);
+                l.latency.to_bits().hash(&mut h);
+            }
+        }
+        if let Some(tier) = &self.switch_tier {
+            tier.port_bandwidth.to_bits().hash(&mut h);
+            tier.hop_latency.to_bits().hash(&mut h);
+        }
         h.finish()
     }
 
-    /// All GPU pairs `(a, b)` with `a < b` connected by at least one NVLink.
+    /// All GPU pairs `(a, b)` with `a < b` connected by at least one
+    /// dedicated point-to-point NVLink. NVSwitch ports are intentionally
+    /// excluded: a GPU's bricks are bonded into one port into the plane, so
+    /// concurrent transfers of one GPU share that port (the per-GPU copy
+    /// engines), unlike cube-mesh bricks which are per-peer.
     pub fn nvlink_edges(&self) -> Vec<(usize, usize, LinkClass)> {
         let mut edges = Vec::new();
         for a in 0..self.n_gpus {
@@ -353,17 +592,21 @@ impl Topology {
     }
 }
 
+/// The legacy name of [`FabricSpec`], kept as a thin shim for one release.
+#[deprecated(note = "renamed to FabricSpec; construct fabrics with FabricBuilder")]
+pub type Topology = FabricSpec;
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::link::bw;
 
-    fn tiny() -> Topology {
+    fn tiny() -> FabricSpec {
         // 2 GPUs on one switch, NVLink2 between them.
         let local = LinkSpec::new(LinkClass::Local, bw::DEVICE_MEMORY);
         let nv2 = LinkSpec::new(LinkClass::NvLink2, bw::NVLINK2);
         let host = LinkSpec::new(LinkClass::Pcie, bw::PCIE_HOST);
-        Topology::from_tables(
+        FabricSpec::from_tables(
             "tiny",
             2,
             vec![local, nv2, nv2, local],
@@ -412,21 +655,39 @@ mod tests {
         let nv2 = LinkSpec::new(LinkClass::NvLink2, bw::NVLINK2);
         let nv1 = LinkSpec::new(LinkClass::NvLink1, bw::NVLINK1);
         let host = LinkSpec::new(LinkClass::Pcie, bw::PCIE_HOST);
-        let t = Topology {
-            name: "bad".into(),
-            n_gpus: 2,
-            gpu_gpu: vec![local, nv2, nv1, local],
-            host_gpu: vec![host, host],
-            gpu_switch: vec![0, 0],
-            switch_socket: vec![0],
-        };
-        assert!(t.validate().is_err());
+        let t = FabricSpec::from_parts(
+            "bad".into(),
+            2,
+            vec![local, nv2, nv1, local],
+            vec![host, host],
+            vec![0, 0],
+            vec![0],
+            Vec::new(),
+            1,
+            None,
+            None,
+        );
+        assert!(t.is_err());
     }
 
     #[test]
-    fn perf_rank_reads_link_class() {
+    fn perf_rank_is_bandwidth_ladder_position() {
         let t = tiny();
-        assert_eq!(t.perf_rank(0, 1), 2);
+        // Ladder: {NVLINK2, DEVICE_MEMORY} → peer rank 0, local rank 1.
+        assert_eq!(t.perf_rank(0, 1), 0);
+        assert_eq!(t.perf_rank(0, 0), 1);
+    }
+
+    #[test]
+    fn route_ref_matches_route() {
+        let t = crate::dgx1();
+        let n = t.n_gpus();
+        let devices: Vec<Device> = (0..n).map(Device::Gpu).chain([Device::Host]).collect();
+        for &s in &devices {
+            for &d in &devices {
+                assert_eq!(*t.route_ref(s, d), t.route(s, d), "{s}->{d}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! The fabric gallery: named machines built on [`crate::FabricBuilder`],
+//! spanning the design space the paper's two heuristics react to — the
+//! DGX-1 cube mesh (heterogeneous ranks), an NVSwitch all-to-all (uniform
+//! ranks, topology-awareness is moot), a single-root PCIe box (every byte
+//! fights for one uplink, optimistic D2D is everything) and a two-node IB
+//! pair (the worst source is another machine).
+
+use crate::builder::FabricBuilder;
+use crate::fabric::FabricSpec;
+use crate::link::{bw, lat, LinkClass};
+
+/// A DGX-2-style NVSwitch machine: `n_gpus` V100s all-to-all through a
+/// non-blocking switch plane at ~150 GB/s per port. Every peer has the same
+/// rank, so the topology-aware heuristic has nothing to exploit — the
+/// interesting question is whether it stays out of the way.
+pub fn dgx2(n_gpus: usize) -> FabricSpec {
+    FabricBuilder::named(format!("dgx2-{n_gpus}"))
+        .gpus(n_gpus)
+        .switch_tier(bw::NVSWITCH_PORT, lat::NVSWITCH_HOP)
+        .gpus_per_switch(2)
+        .switches_per_socket(n_gpus.div_ceil(4).max(1))
+        .build()
+}
+
+/// A commodity PCIe-only box with a single root complex: every GPU hangs
+/// off one switch, so all host traffic and all P2P traffic share a single
+/// uplink. The brutal case for host re-reads — the optimistic
+/// device-to-device heuristic matters most here.
+pub fn pcie_box(n_gpus: usize) -> FabricSpec {
+    FabricBuilder::named(format!("pcie-box-{n_gpus}"))
+        .gpus(n_gpus)
+        .gpus_per_switch(n_gpus)
+        .switches_per_socket(1)
+        .build()
+}
+
+/// Two nodes of `per_node` GPUs each, NVLink all-to-all inside a node,
+/// joined by EDR-class NICs with per-hop latency (NIC, IB switch, NIC).
+/// Host memory lives on node 0, so one logical GEMM spanning both nodes
+/// pays the wire for every remote host read — sourcing from the right
+/// *node*, not just the right link class, is what the topology-aware
+/// heuristic must get right.
+pub fn dual_node_ib(per_node: usize) -> FabricSpec {
+    FabricBuilder::named(format!("dual-node-{per_node}x2"))
+        .gpus(2 * per_node)
+        .peer_default(LinkClass::NvLink1, bw::NVLINK1)
+        .nodes(2)
+        .inter_node(bw::IB_NIC, lat::IB_HOP, 3)
+        .gpus_per_switch(2)
+        .switches_per_socket(per_node.div_ceil(2).max(1))
+        .build()
+}
+
+/// Every fabric of the gallery, DGX-1 first: the set the per-fabric bench
+/// panels and the xk-check differential/metamorphic suites sweep.
+pub fn gallery() -> Vec<FabricSpec> {
+    vec![crate::dgx1(), dgx2(16), pcie_box(4), dual_node_ib(4)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::Device;
+
+    #[test]
+    fn gallery_fabrics_validate_and_are_distinct() {
+        let all = gallery();
+        assert_eq!(all.len(), 4);
+        for t in &all {
+            t.validate().unwrap();
+        }
+        for i in 0..all.len() {
+            for j in i + 1..all.len() {
+                assert_ne!(
+                    all[i].fingerprint(),
+                    all[j].fingerprint(),
+                    "{} vs {}",
+                    all[i].name(),
+                    all[j].name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dgx2_ranks_are_uniform() {
+        let t = dgx2(16);
+        assert_eq!(t.n_gpus(), 16);
+        let r = t.perf_rank(0, 1);
+        for a in 0..16 {
+            for b in 0..16 {
+                if a != b {
+                    assert_eq!(t.perf_rank(a, b), r);
+                }
+            }
+        }
+        // All P2P routes are port-to-port through the plane: no segments.
+        assert!(t.route(Device::Gpu(0), Device::Gpu(15)).segments.is_empty());
+    }
+
+    #[test]
+    fn pcie_box_shares_one_uplink() {
+        let t = pcie_box(4);
+        assert_eq!(t.n_switches(), 1);
+        for g in 0..4 {
+            let r = t.route(Device::Host, Device::Gpu(g));
+            assert_eq!(r.segments, vec![crate::BusSegment::HostUplink(0)]);
+        }
+        // P2P also funnels through the same switch fabric.
+        let p2p = t.route(Device::Gpu(0), Device::Gpu(3));
+        assert_eq!(p2p.segments, vec![crate::BusSegment::HostUplink(0)]);
+    }
+
+    #[test]
+    fn dual_node_prefers_same_node_sources() {
+        let t = dual_node_ib(4);
+        // Ladder: NIC < NVLink1 < local ⇒ same-node rank beats cross-node.
+        assert!(t.perf_rank(4, 5) > t.perf_rank(4, 0));
+        // The remote host link is NIC-bound.
+        let remote = t.route(Device::Host, Device::Gpu(7));
+        let local = t.route(Device::Host, Device::Gpu(0));
+        assert!(remote.bandwidth <= local.bandwidth);
+        assert!(remote.latency > local.latency);
+    }
+}

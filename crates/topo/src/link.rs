@@ -20,6 +20,15 @@ pub enum LinkClass {
     NvLinkHost,
     /// Same-device copy served by device memory.
     Local,
+    // New variants are appended so the discriminants (and therefore the
+    // derived `Hash` feeding `FabricSpec::fingerprint`) of the original
+    // classes never move. The derived `Ord` is declaration order and is NOT
+    // a quality order across the appended variants — rank queries must go
+    // through `FabricSpec::perf_rank`, which orders by route bandwidth.
+    /// A port into a non-blocking NVSwitch tier (DGX-2 style all-to-all).
+    NvSwitch,
+    /// An inter-node NIC/IB path (multi-node fabrics).
+    InterNode,
 }
 
 impl LinkClass {
@@ -29,9 +38,10 @@ impl LinkClass {
     /// host-uplink bandwidth twice.
     pub fn perf_rank(self) -> u8 {
         match self {
+            LinkClass::InterNode => 0,
             LinkClass::Pcie => 0,
             LinkClass::NvLink1 | LinkClass::NvLinkHost => 1,
-            LinkClass::NvLink2 => 2,
+            LinkClass::NvLink2 | LinkClass::NvSwitch => 2,
             LinkClass::Local => 3,
         }
     }
@@ -44,6 +54,8 @@ impl LinkClass {
             LinkClass::NvLink2 => "NVLink x2",
             LinkClass::NvLinkHost => "NVLink host",
             LinkClass::Local => "local",
+            LinkClass::NvSwitch => "NVSwitch",
+            LinkClass::InterNode => "NIC",
         }
     }
 }
@@ -67,6 +79,12 @@ pub mod bw {
     pub const QPI: f64 = 19.2e9;
     /// POWER9-style NVLink between CPU and GPU (Summit node).
     pub const NVLINK_HOST: f64 = 50.0e9;
+    /// One GPU port into a DGX-2-style NVSwitch plane: 6 NVLink-2 bricks
+    /// bonded through the switch, ~150 GB/s per GPU.
+    pub const NVSWITCH_PORT: f64 = 150.0e9;
+    /// One EDR-InfiniBand-class NIC (~100 Gb/s signalling, ~12 GB/s
+    /// sustained for GPUDirect-style transfers).
+    pub const IB_NIC: f64 = 12.0e9;
 }
 
 /// Link latencies, in seconds.
@@ -77,6 +95,10 @@ pub mod lat {
     pub const PCIE: f64 = 10.0e-6;
     /// Same-device copy launch overhead.
     pub const LOCAL: f64 = 1.0e-6;
+    /// One hop through an NVSwitch plane (a GPU↔GPU route crosses two).
+    pub const NVSWITCH_HOP: f64 = 1.0e-6;
+    /// One hop of an inter-node IB path (NIC, switch, NIC...).
+    pub const IB_HOP: f64 = 1.5e-6;
 }
 
 #[cfg(test)]

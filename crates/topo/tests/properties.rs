@@ -1,7 +1,7 @@
 //! Property-based and serde round-trip tests for topologies.
 
 use proptest::prelude::*;
-use xk_topo::{builders, dgx1, Device, Topology};
+use xk_topo::{builders, dgx1, Device, FabricSpec};
 
 fn arb_matrix(n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
     proptest::collection::vec(proptest::collection::vec(5.0f64..120.0, n), n).prop_map(
@@ -53,7 +53,7 @@ proptest! {
 fn serde_round_trip_preserves_routes() {
     let t = dgx1();
     let json = serde_json::to_string(&t).unwrap();
-    let back: Topology = serde_json::from_str(&json).unwrap();
+    let back: FabricSpec = serde_json::from_str(&json).unwrap();
     back.validate().unwrap();
     for a in 0..8 {
         for b in 0..8 {

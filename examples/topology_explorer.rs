@@ -9,12 +9,15 @@ use xkblas_repro::prelude::*;
 use xkblas_repro::topo::builders;
 
 fn main() {
-    let topologies: Vec<(&str, Topology)> = vec![
+    let topologies: Vec<(&str, FabricSpec)> = vec![
         ("DGX-1 (hybrid cube mesh)", dgx1()),
         ("PCIe-only node, 8 GPUs", builders::pcie_only(8)),
         ("NVSwitch-style all-to-all", builders::nvlink_all_to_all(8)),
         ("Summit-like node (6 GPUs, NVLink to host)", builders::summit_node()),
         ("NVLink ring, 8 GPUs", builders::nvlink_ring(8)),
+        ("DGX-2-style NVSwitch tier, 16 GPUs", fabrics::dgx2(16)),
+        ("Commodity PCIe box, 4 GPUs", fabrics::pcie_box(4)),
+        ("Two nodes over IB, 4+4 GPUs", fabrics::dual_node_ib(4)),
     ];
 
     println!("DGEMM N=16384, tile 2048, data-on-host: heuristics on vs off\n");

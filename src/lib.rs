@@ -7,7 +7,8 @@
 //!
 //! This facade re-exports the workspace crates:
 //!
-//! * [`topo`] — interconnect topologies (the DGX-1 hybrid cube mesh).
+//! * [`topo`] — fabric descriptions (the DGX-1 hybrid cube mesh, NVSwitch
+//!   tiers, PCIe boxes, multi-node NIC fabrics) behind one `FabricSpec`.
 //! * [`sim`] — the discrete-event core.
 //! * [`kernels`] — real CPU tile kernels + the V100 timing model.
 //! * [`runtime`] — the XKaapi-like task runtime with the paper's two
@@ -65,7 +66,7 @@ pub mod prelude {
     pub use xk_runtime::{
         Error, Heuristics, ObsLevel, ObsReport, RuntimeConfig, SchedulerKind, SimSession,
     };
-    pub use xk_topo::{builders, dgx1, Device, Topology};
+    pub use xk_topo::{builders, dgx1, fabrics, Device, FabricBuilder, FabricSpec};
     pub use xkblas_core::{
         gemm_async, symm_async, syr2k_async, syrk_async, trmm_async, trsm_async, Context, Diag,
         Matrix, Routine, Side, Trans, Uplo,

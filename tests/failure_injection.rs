@@ -4,10 +4,10 @@
 use xkblas_repro::baselines::{run, Library, RunParams, XkVariant};
 use xkblas_repro::prelude::*;
 use xkblas_repro::runtime::{SimOutcome, SimSession, TaskGraph};
-use xkblas_repro::topo::{builders, LinkSpec, Topology};
+use xkblas_repro::topo::{builders, LinkSpec, FabricSpec};
 
 /// All simulated runs go through the session front door.
-fn simulate(graph: &TaskGraph, topo: &Topology, cfg: &RuntimeConfig) -> SimOutcome {
+fn simulate(graph: &TaskGraph, topo: &FabricSpec, cfg: &RuntimeConfig) -> SimOutcome {
     SimSession::on(topo).config(cfg.clone()).run(graph).into_outcome()
 }
 
@@ -21,7 +21,7 @@ fn gemm_params(n: usize, tile: usize) -> RunParams {
 }
 
 /// A DGX-1 whose NVLinks are degraded to a fraction of their bandwidth.
-fn degraded_dgx1(factor: f64) -> Topology {
+fn degraded_dgx1(factor: f64) -> FabricSpec {
     let base = dgx1();
     let m = base.bandwidth_matrix_gbs();
     let degraded: Vec<Vec<f64>> = m
@@ -159,7 +159,7 @@ fn invalid_topology_rejected() {
     let dead = LinkSpec::new(xkblas_repro::topo::LinkClass::Pcie, 0.0);
     let host = LinkSpec::new(xkblas_repro::topo::LinkClass::Pcie, 1e10);
     let result = std::panic::catch_unwind(|| {
-        Topology::from_tables(
+        FabricSpec::from_tables(
             "dead-link",
             2,
             vec![local, dead, dead, local],
