@@ -12,7 +12,7 @@ use rayon::prelude::*;
 use xk_baselines::{Library, XkVariant};
 use xk_bench::graphgen::{build_gemm_graph_legacy, build_wide_dag, gemm_graph_shell, submit_gemm_tasks};
 use xk_bench::{sweep_series, sweep_series_par, RunCache, SeriesPoint, PAPER_DIMS_SMALL};
-use xk_runtime::{run_parallel, RuntimeConfig, SimExecutor, SimPrep};
+use xk_runtime::{run_parallel, RuntimeConfig, SimExecutor, SimPrep, SimSession};
 use xk_kernels::parallel::{par_fill_pattern, par_gemm, par_gemm_naive};
 use xk_kernels::{
     gemm, syrk, trsm, Diag, MatMut, MatRef, Routine, Side, Trans, Uplo,
@@ -480,6 +480,118 @@ fn bench_fabrics() -> serde_json::Value {
     serde_json::json!({ "n": N, "tile": TILE, "per_fabric": per_fabric })
 }
 
+/// Optimality audit: the schedule-free LP makespan lower bound against the
+/// simulated makespan per routine × gallery fabric × heuristic variant.
+/// Every cell asserts a positive finite bound and a finite non-negative
+/// gap — the snapshot doubles as a physics check of the DES. A sampled
+/// Shapley attribution of the DGX-1 NVLink mesh on the GEMM graph rides
+/// along (which physical links buy the throughput).
+fn bench_optimality() -> serde_json::Value {
+    const N: usize = 8192;
+    const TILE: usize = 2048;
+    const VARIANTS: [(&str, XkVariant); 3] = [
+        ("full", XkVariant::Full),
+        ("no_heuristic", XkVariant::NoHeuristic),
+        ("no_heuristic_no_topo", XkVariant::NoHeuristicNoTopo),
+    ];
+    let per_fabric: Vec<serde_json::Value> = xk_topo::fabrics::gallery()
+        .iter()
+        .map(|topo| {
+            let per_routine: Vec<serde_json::Value> = Routine::ALL
+                .into_iter()
+                .map(|routine| {
+                    let params = xk_baselines::RunParams {
+                        routine,
+                        n: N,
+                        tile: TILE,
+                        data_on_device: false,
+                    };
+                    let variants: Vec<serde_json::Value> = VARIANTS
+                        .iter()
+                        .map(|&(vname, v)| {
+                            let cfg = v.runtime_config();
+                            let g = xk_baselines::build_run_graph(topo, &params, &cfg, false);
+                            let run = SimSession::on(topo).config(cfg).run_bounded(&g);
+                            let bound = run.lower_bound().expect("bounded run carries its bound");
+                            assert!(
+                                bound.total > 0.0 && bound.total.is_finite(),
+                                "{} {} {vname}: degenerate bound {bound:?}",
+                                topo.name(),
+                                routine.name(),
+                            );
+                            let gap = run.optimality_gap().expect("bound is positive");
+                            assert!(
+                                gap >= 0.0 && gap.is_finite(),
+                                "{} {} {vname}: makespan {} beats the lower bound {}",
+                                topo.name(),
+                                routine.name(),
+                                run.outcome().makespan,
+                                bound.total,
+                            );
+                            serde_json::json!({
+                                "variant": vname,
+                                "makespan_s": run.outcome().makespan,
+                                "bound_s": bound.total,
+                                "critical_path_s": bound.critical_path,
+                                "link_lp_s": bound.link_lp,
+                                "compute_s": bound.compute,
+                                "lp_iterations": bound.lp_iterations,
+                                "gap": gap,
+                            })
+                        })
+                        .collect();
+                    serde_json::json!({ "routine": routine.name(), "variants": variants })
+                })
+                .collect();
+            serde_json::json!({
+                "fabric": topo.name(),
+                "n_gpus": topo.n_gpus(),
+                "per_routine": per_routine,
+            })
+        })
+        .collect();
+
+    // Sampled Shapley attribution (24 permutations, fixed seed) of the
+    // DGX-1 NVLink mesh under the full-heuristics GEMM run.
+    let topo = xk_topo::dgx1();
+    let params = xk_baselines::RunParams {
+        routine: Routine::Gemm,
+        n: N,
+        tile: TILE,
+        data_on_device: false,
+    };
+    let cfg = XkVariant::Full.runtime_config();
+    let g = xk_baselines::build_run_graph(&topo, &params, &cfg, false);
+    let attr = SimSession::on(&topo).config(cfg).attribute_links(&g, 24, 7);
+    let attribution = serde_json::json!({
+        "fabric": topo.name(),
+        "routine": "gemm",
+        "exact": attr.exact,
+        "evaluations": attr.evaluations,
+        "full_gflops": attr.full_value,
+        "baseline_gflops": attr.baseline_value,
+        "mesh_gflops": attr.mesh_value(),
+        "links": attr
+            .links
+            .iter()
+            .map(|l| serde_json::json!({
+                "a": l.a,
+                "b": l.b,
+                "class": l.class.label(),
+                "gflops": l.value,
+                "share": l.share,
+            }))
+            .collect::<Vec<_>>(),
+    });
+
+    serde_json::json!({
+        "n": N,
+        "tile": TILE,
+        "per_fabric": per_fabric,
+        "attribution": attribution,
+    })
+}
+
 fn series_equal(a: &[Vec<SeriesPoint>], b: &[Vec<SeriesPoint>]) -> bool {
     a.len() == b.len()
         && a.iter().zip(b).all(|(sa, sb)| {
@@ -543,6 +655,9 @@ fn main() {
     eprintln!("fabric gallery (GEMM GFLOP/s per fabric x heuristic) ...");
     let fabrics = bench_fabrics();
 
+    eprintln!("optimality audit (LP lower bound vs makespan + link attribution) ...");
+    let optimality = bench_optimality();
+
     eprintln!("small sweep, warm cache ...");
     let t0 = Instant::now();
     let warm: Vec<Vec<SeriesPoint>> = SWEEP_LIBS
@@ -578,6 +693,7 @@ fn main() {
         "par_exec": par_exec,
         "obs": obs,
         "fabrics": fabrics,
+        "optimality": optimality,
         "run_cache": {
             "entries": cache.len(),
             "shards": cache.sharded().n_shards(),

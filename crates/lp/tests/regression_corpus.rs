@@ -1,0 +1,171 @@
+//! Plain-test regression corpus for the simplex core: known-optimum,
+//! degenerate, unbounded-detected and infeasible-detected instances, plus
+//! a deterministic seeded sweep cross-checked against brute-force vertex
+//! enumeration. None of this depends on proptest, so the offline CI keeps
+//! full solver coverage even where the proptest crate is unavailable.
+
+use xk_lp::{brute_force, solve, Lp, LpResult, SplitMix64, DEFAULT_TOL};
+
+fn optimal_value(lp: &Lp) -> f64 {
+    match solve(lp) {
+        LpResult::Optimal(s) => s.value,
+        other => panic!("expected optimal, got {other:?}"),
+    }
+}
+
+fn assert_close(a: f64, b: f64) {
+    assert!((a - b).abs() < 1e-7, "{a} !~ {b}");
+}
+
+#[test]
+fn klee_minty_3d_reaches_the_far_vertex() {
+    // The classic worst case for greedy pivoting; Bland still terminates
+    // at the optimum 2^3·... — for the 3-cube with base 5 the optimum is
+    // x3 = 125 at (0, 0, 125).
+    let mut lp = Lp::minimize(vec![-4.0, -2.0, -1.0]);
+    lp.le(vec![1.0, 0.0, 0.0], 5.0);
+    lp.le(vec![4.0, 1.0, 0.0], 25.0);
+    lp.le(vec![8.0, 4.0, 1.0], 125.0);
+    let s = solve(&lp);
+    let s = s.optimal().expect("optimal");
+    assert_close(s.value, -125.0);
+}
+
+#[test]
+fn degenerate_vertex_does_not_cycle() {
+    // Beale's cycling example (degenerate at the origin); Bland's rule
+    // must terminate. min −0.75x1 + 150x2 − 0.02x3 + 6x4.
+    let mut lp = Lp::minimize(vec![-0.75, 150.0, -0.02, 6.0]);
+    lp.le(vec![0.25, -60.0, -0.04, 9.0], 0.0);
+    lp.le(vec![0.5, -90.0, -0.02, 3.0], 0.0);
+    lp.le(vec![0.0, 0.0, 1.0, 0.0], 1.0);
+    let s = solve(&lp);
+    let s = s.optimal().expect("optimal");
+    assert_close(s.value, -0.05);
+}
+
+#[test]
+fn transport_like_delivery_lp() {
+    // The exact shape the makespan bound emits: per-handle delivery
+    // fractions over two routes, a shared-engine load row, minimize the
+    // bottleneck M. Two handles, each taking 2s on route A or 4s on
+    // route B, route A shared: optimum splits to equalize at M = 8/3.
+    let mut lp = Lp::minimize(vec![0.0, 0.0, 0.0, 0.0, 1.0]);
+    lp.ge(vec![1.0, 1.0, 0.0, 0.0, 0.0], 1.0); // handle 1 delivered
+    lp.ge(vec![0.0, 0.0, 1.0, 1.0, 0.0], 1.0); // handle 2 delivered
+    lp.le(vec![2.0, 0.0, 2.0, 0.0, -1.0], 0.0); // route A engine
+    lp.le(vec![0.0, 4.0, 0.0, 4.0, -1.0], 0.0); // route B engine
+    assert_close(optimal_value(&lp), 8.0 / 3.0);
+}
+
+#[test]
+fn unbounded_is_detected_not_looped() {
+    // Feasible cone open along (1, 1).
+    let mut lp = Lp::minimize(vec![-1.0, -1.0]);
+    lp.ge(vec![1.0, -1.0], -1.0);
+    lp.ge(vec![-1.0, 1.0], -1.0);
+    assert!(matches!(solve(&lp), LpResult::Unbounded));
+}
+
+#[test]
+fn infeasible_system_of_equalities() {
+    let mut lp = Lp::minimize(vec![0.0, 0.0]);
+    lp.eq(vec![1.0, 1.0], 1.0);
+    lp.eq(vec![1.0, 1.0], 2.0);
+    assert!(matches!(solve(&lp), LpResult::Infeasible));
+}
+
+#[test]
+fn infeasible_despite_consistent_pairs() {
+    // Pairwise satisfiable, jointly not: x ≤ 1, y ≤ 1, x + y ≥ 3.
+    let mut lp = Lp::minimize(vec![1.0, 1.0]);
+    lp.le(vec![1.0, 0.0], 1.0);
+    lp.le(vec![0.0, 1.0], 1.0);
+    lp.ge(vec![1.0, 1.0], 3.0);
+    assert!(matches!(solve(&lp), LpResult::Infeasible));
+}
+
+#[test]
+fn equality_only_system_solves_exactly() {
+    // min x+y+z over x+y = 3, y+z = 5, x+z = 4 → (1, 2, 3), value 6.
+    let mut lp = Lp::minimize(vec![1.0, 1.0, 1.0]);
+    lp.eq(vec![1.0, 1.0, 0.0], 3.0);
+    lp.eq(vec![0.0, 1.0, 1.0], 5.0);
+    lp.eq(vec![1.0, 0.0, 1.0], 4.0);
+    let r = solve(&lp);
+    let s = r.optimal().expect("optimal");
+    assert_close(s.value, 6.0);
+    assert_close(s.x[0], 1.0);
+    assert_close(s.x[1], 2.0);
+    assert_close(s.x[2], 3.0);
+}
+
+#[test]
+fn tiny_coefficient_spread_stays_within_tolerance() {
+    // Second-scale makespans against 1e-2-scale transfer coefficients —
+    // the numeric neighbourhood the bound builder produces.
+    let mut lp = Lp::minimize(vec![0.0, 0.0, 1.0]);
+    lp.ge(vec![1.0, 1.0, 0.0], 1.0);
+    lp.le(vec![0.013, 0.0, -1.0], 0.0);
+    lp.le(vec![0.0, 0.039, -1.0], 0.0);
+    // Split 3:1 equalizes both engines at 0.75·0.013 = 0.009750.
+    assert_close(optimal_value(&lp), 0.25 * 0.039);
+}
+
+/// Deterministic random sweep: 200 seeded small LPs (boxed, so the region
+/// is a polytope and vertex enumeration is a complete oracle), simplex vs
+/// brute force. This is the plain-test twin of the proptest property.
+#[test]
+fn seeded_sweep_matches_brute_force() {
+    let mut rng = SplitMix64::new(0x5eed_cafe);
+    let mut optima = 0usize;
+    for case in 0..200 {
+        let n = 1 + (rng.next_below(3)) as usize; // 1..=3 vars
+        let extra = rng.next_below(3) as usize; // 0..=2 extra rows
+        let mut c: Vec<f64> = (0..n).map(|_| rng.next_f64() * 4.0 - 2.0).collect();
+        // Round to a coarse grid: degenerate/tied instances show up often.
+        for v in &mut c {
+            *v = (*v * 2.0).round() / 2.0;
+        }
+        let mut lp = Lp::minimize(c);
+        for j in 0..n {
+            let mut row = vec![0.0; n];
+            row[j] = 1.0;
+            lp.le(row, 1.0 + rng.next_below(4) as f64); // box: polytope
+        }
+        for _ in 0..extra {
+            let row: Vec<f64> = (0..n)
+                .map(|_| (rng.next_f64() * 4.0 - 2.0).round())
+                .collect();
+            let rhs = (rng.next_f64() * 6.0 - 3.0).round();
+            if rng.next_below(2) == 0 {
+                lp.le(row, rhs);
+            } else {
+                lp.ge(row, rhs);
+            }
+        }
+        match solve(&lp) {
+            LpResult::Optimal(s) => {
+                let bf = brute_force(&lp, DEFAULT_TOL)
+                    .unwrap_or_else(|| panic!("case {case}: simplex optimal, brute force infeasible"));
+                assert!(
+                    (s.value - bf.value).abs() < 1e-6 * (1.0 + bf.value.abs()),
+                    "case {case}: simplex {} != brute force {}",
+                    s.value,
+                    bf.value,
+                );
+                optima += 1;
+            }
+            LpResult::Infeasible => {
+                assert!(
+                    brute_force(&lp, DEFAULT_TOL).is_none(),
+                    "case {case}: simplex infeasible, brute force found a vertex",
+                );
+            }
+            LpResult::Unbounded => {
+                unreachable!("case {case}: boxed variables cannot be unbounded")
+            }
+        }
+    }
+    assert!(optima >= 100, "sweep degenerated: only {optima}/200 optimal instances");
+}

@@ -1,0 +1,448 @@
+//! Schedule-free makespan lower bound: `max(critical path, LP link load,
+//! aggregate compute)`.
+//!
+//! Every quantity here is a *relaxation* — true for any schedule the
+//! simulator can produce, under any controller, heuristic set or event
+//! ordering — so `bound ≤ makespan` is a free correctness oracle for the
+//! DES (asserted across the whole differential matrix by `xk-check`) and
+//! the denominator of the optimality gap reported by `bench_snapshot`.
+//!
+//! The three components:
+//!
+//! * **Critical path** — longest dependency chain where each kernel costs
+//!   its model time, first reads of host-resident tiles cost at least the
+//!   cheapest H2D route, and dirty tiles drained by a flush cost at least
+//!   the cheapest D2H route after their last writer. Purely combinatorial.
+//! * **Link LP** — mandatory host traffic (tiles whose first access is a
+//!   read of host data must cross some host uplink once; dirty flush
+//!   reads must cross back) scheduled fractionally over GPUs to minimize
+//!   the bottleneck engine's busy time. Solved with `xk-lp`'s revised
+//!   simplex; variables are per-(tile, GPU) delivered fractions, rows are
+//!   the executor's actual engines (PCIe in/out per GPU, switch uplinks,
+//!   inter-socket, NICs) with coefficients from the exact route tables
+//!   including the pitched-copy derating. Latency is dropped (transfers
+//!   could be batched), which only lowers the bound.
+//! * **Compute** — each GPU serializes kernels on one model stream, so
+//!   `Σ kernel_time / n_gpus` is unbeatable even by a perfect scheduler.
+//!
+//! What is deliberately *not* in the bound: submission-window ordering
+//! (the work-stealing path re-acquires tasks in ways that break a
+//! serialization argument) and any claim about which GPU runs what — the
+//! LP lets every byte take its cheapest route, every task its free GPU.
+
+use xk_kernels::perfmodel::PITCHED_COPY_FACTOR;
+use xk_lp::{Lp, LpResult};
+use xk_topo::{BusSegment, Device, FabricSpec, Route};
+
+use crate::config::RuntimeConfig;
+use crate::graph::TaskGraph;
+use crate::task::TaskKind;
+
+/// A makespan lower bound, broken into its component relaxations.
+///
+/// `total` is the binding value (`max` of the components); the parts are
+/// kept so reports can say *why* a run cannot be faster — link-capacity
+/// bound problems and dependency-chain bound problems call for different
+/// optimizations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MakespanBound {
+    /// `max(critical_path, link_lp, compute)` — the usable bound, seconds.
+    pub total: f64,
+    /// Longest dependency chain with mandatory-transfer floors, seconds.
+    pub critical_path: f64,
+    /// LP bottleneck-engine optimum over mandatory host traffic, seconds.
+    pub link_lp: f64,
+    /// Aggregate kernel time over all GPUs, seconds.
+    pub compute: f64,
+    /// Simplex pivots spent on the link LP (0 when no mandatory traffic).
+    pub lp_iterations: usize,
+}
+
+impl MakespanBound {
+    /// Relative optimality gap of an achieved `makespan` against this
+    /// bound: `makespan / total − 1` (`0` = provably optimal schedule).
+    /// Returns `None` for empty workloads with a zero bound.
+    pub fn gap(&self, makespan: f64) -> Option<f64> {
+        (self.total > 0.0).then(|| makespan / self.total - 1.0)
+    }
+
+    /// True when `makespan` respects the bound within `rel_tol`
+    /// (`makespan ≥ total · (1 − rel_tol)`). The differential harness
+    /// uses `1e-9`, matching the LP solver's own tolerance.
+    pub fn admits(&self, makespan: f64, rel_tol: f64) -> bool {
+        makespan >= self.total * (1.0 - rel_tol)
+    }
+}
+
+/// Effective bandwidth of a route for one tile: pitched host transfers
+/// are derated exactly like the executor derates them.
+fn route_seconds(route: &Route, bytes: u64, pitched: bool) -> f64 {
+    let mut bw = route.bandwidth;
+    if pitched {
+        bw *= PITCHED_COPY_FACTOR;
+    }
+    bytes as f64 / bw
+}
+
+/// Index space of the shared engines the LP rows model, mirroring the
+/// executor's engine pool (minus the per-GPU kernel streams, which the
+/// `compute` component covers).
+struct Engines {
+    n_gpus: usize,
+    n_switches: usize,
+}
+
+impl Engines {
+    fn count(&self, n_nodes: usize) -> usize {
+        2 * self.n_gpus + self.n_switches + 1 + n_nodes
+    }
+
+    fn pcie_in(&self, g: usize) -> usize {
+        g
+    }
+
+    fn pcie_out(&self, g: usize) -> usize {
+        self.n_gpus + g
+    }
+
+    fn segment(&self, s: &BusSegment) -> usize {
+        match s {
+            BusSegment::HostUplink(sw) => 2 * self.n_gpus + sw,
+            BusSegment::InterSocket => 2 * self.n_gpus + self.n_switches,
+            BusSegment::InterNode(nd) => 2 * self.n_gpus + self.n_switches + 1 + nd,
+        }
+    }
+}
+
+/// Computes the schedule-free lower bound on the makespan of `graph` on
+/// `topo` under `cfg`'s performance model.
+///
+/// The result only depends on the graph, the fabric and the kernel model
+/// — never on heuristics, scheduler kind or controller decisions — so one
+/// bound serves every explored schedule of a scenario.
+pub fn makespan_lower_bound(
+    graph: &TaskGraph,
+    topo: &FabricSpec,
+    cfg: &RuntimeConfig,
+) -> MakespanBound {
+    let n = topo.n_gpus();
+    let data = graph.data();
+    let n_handles = data.len();
+
+    // ---- Mandatory transfers -------------------------------------------
+    // H2D: a tile whose *first* access (in submission order, which is
+    // dependency order) reads host-initial data must be delivered from the
+    // host at least once — no schedule can conjure it from a device.
+    // D2H: a tile a flush reads while dirty (written on device, or
+    // device-initial) must be written back at least once.
+    let mut first_touch_reads: Vec<Option<bool>> = vec![None; n_handles];
+    let mut last_writer: Vec<Option<usize>> = vec![None; n_handles];
+    let mut flushed: Vec<bool> = vec![false; n_handles];
+    let mut d2h_mandatory: Vec<bool> = vec![false; n_handles];
+
+    // Critical-path state, filled in the same submission-order pass.
+    let mut finish = vec![0.0f64; graph.len()];
+    let mut flush_tail = 0.0f64;
+    // Cheapest H2D/D2H per handle, lazily materialized.
+    let mut h2d_floor: Vec<f64> = vec![f64::NAN; n_handles];
+    let mut d2h_floor: Vec<f64> = vec![f64::NAN; n_handles];
+    let mut floor = |cache: &mut Vec<f64>, h: usize, to_gpu: bool| -> f64 {
+        if cache[h].is_nan() {
+            let info = data.info(crate::data::HandleId(h));
+            let mut best = f64::INFINITY;
+            for g in 0..n {
+                let (src, dst) = if to_gpu {
+                    (Device::Host, Device::Gpu(g))
+                } else {
+                    (Device::Gpu(g), Device::Host)
+                };
+                let route = topo.route_ref(src, dst);
+                let t = route.latency + route_seconds(route, info.bytes, info.pitched);
+                best = best.min(t);
+            }
+            cache[h] = best;
+        }
+        cache[h]
+    };
+
+    for (t, task) in graph.tasks().iter().enumerate() {
+        let mut ready = 0.0f64;
+        for p in graph.predecessors(crate::task::TaskId(t)) {
+            ready = ready.max(finish[p.0]);
+        }
+        match task.kind {
+            TaskKind::Kernel => {
+                for a in task.accesses.iter() {
+                    let h = a.handle.0;
+                    if first_touch_reads[h].is_none() {
+                        first_touch_reads[h] = Some(a.access.reads());
+                    }
+                    if a.access.reads()
+                        && last_writer[h].is_none()
+                        && data.info(a.handle).initial.is_host()
+                    {
+                        ready = ready.max(floor(&mut h2d_floor, h, true));
+                    }
+                }
+                let kernel = task.op.map_or(0.0, |op| cfg.gpu_model.kernel_time(op));
+                finish[t] = ready + kernel;
+                for h in task.written_handles() {
+                    last_writer[h.0] = Some(t);
+                    flushed[h.0] = false;
+                }
+            }
+            TaskKind::Flush => {
+                // The flush itself completes at `ready`; the write-backs it
+                // (or eager flushing) forces end at least one cheapest-D2H
+                // after the last writer, bounding the *makespan* rather
+                // than the flush's successors (eager mode drains early).
+                finish[t] = ready;
+                for h in task.read_handles() {
+                    let hi = h.0;
+                    if flushed[hi] {
+                        continue;
+                    }
+                    let dirty_since = match (last_writer[hi], data.info(h).initial) {
+                        (Some(w), _) => Some(finish[w]),
+                        (None, Device::Gpu(_)) => Some(0.0),
+                        (None, _) => None,
+                    };
+                    if let Some(since) = dirty_since {
+                        d2h_mandatory[hi] = true;
+                        flushed[hi] = true;
+                        flush_tail = flush_tail.max(since + floor(&mut d2h_floor, hi, false));
+                    }
+                }
+            }
+        }
+    }
+    let critical_path = finish
+        .iter()
+        .fold(flush_tail, |acc, &f| acc.max(f));
+
+    // ---- Aggregate compute ---------------------------------------------
+    let compute = if n > 0 {
+        graph
+            .tasks()
+            .iter()
+            .filter(|t| t.kind == TaskKind::Kernel)
+            .filter_map(|t| t.op)
+            .map(|op| cfg.gpu_model.kernel_time(op))
+            .sum::<f64>()
+            / n as f64
+    } else {
+        0.0
+    };
+
+    // ---- Link LP --------------------------------------------------------
+    let h2d: Vec<usize> = (0..n_handles)
+        .filter(|&h| {
+            first_touch_reads[h] == Some(true)
+                && data.info(crate::data::HandleId(h)).initial.is_host()
+        })
+        .collect();
+    let d2h: Vec<usize> = (0..n_handles).filter(|&h| d2h_mandatory[h]).collect();
+    let (link_lp, lp_iterations) = link_lp_bound(topo, graph, &h2d, &d2h);
+
+    let total = critical_path.max(compute).max(link_lp);
+    MakespanBound { total, critical_path, link_lp, compute, lp_iterations }
+}
+
+/// Builds and solves the bottleneck-engine LP over the mandatory
+/// transfers: minimize `M` subject to "every mandatory tile fully
+/// delivered (fractionally, over any GPUs)" and "every shared engine's
+/// assigned seconds ≤ M".
+fn link_lp_bound(
+    topo: &FabricSpec,
+    graph: &TaskGraph,
+    h2d: &[usize],
+    d2h: &[usize],
+) -> (f64, usize) {
+    let n = topo.n_gpus();
+    if n == 0 || (h2d.is_empty() && d2h.is_empty()) {
+        return (0.0, 0);
+    }
+    let engines = Engines { n_gpus: n, n_switches: topo.n_switches() };
+    let n_engines = engines.count(topo.n_nodes());
+    let n_vars = (h2d.len() + d2h.len()) * n + 1;
+    let m_col = n_vars - 1;
+
+    // Variables are delivered *fractions* of each tile (well-scaled into
+    // [0, 1]); engine-row coefficients are whole-tile seconds.
+    let mut objective = vec![0.0; n_vars];
+    objective[m_col] = 1.0;
+    let mut lp = Lp::minimize(objective);
+    let mut engine_rows = vec![vec![0.0; n_vars]; n_engines];
+
+    let mut delivery = |lp: &mut Lp,
+                        engine_rows: &mut Vec<Vec<f64>>,
+                        handles: &[usize],
+                        var_base: usize,
+                        to_gpu: bool| {
+        for (hi, &h) in handles.iter().enumerate() {
+            let info = graph.data().info(crate::data::HandleId(h));
+            let mut row = vec![0.0; n_vars];
+            for g in 0..n {
+                let var = var_base + hi * n + g;
+                row[var] = 1.0;
+                let (src, dst, endpoint) = if to_gpu {
+                    (Device::Host, Device::Gpu(g), engines.pcie_in(g))
+                } else {
+                    (Device::Gpu(g), Device::Host, engines.pcie_out(g))
+                };
+                let route = topo.route_ref(src, dst);
+                let secs = route_seconds(route, info.bytes, info.pitched);
+                engine_rows[endpoint][var] += secs;
+                for s in &route.segments {
+                    engine_rows[engines.segment(s)][var] += secs;
+                }
+            }
+            lp.ge(row, 1.0);
+        }
+    };
+    delivery(&mut lp, &mut engine_rows, h2d, 0, true);
+    delivery(&mut lp, &mut engine_rows, d2h, h2d.len() * n, false);
+
+    for mut row in engine_rows {
+        if row.iter().any(|&c| c != 0.0) {
+            row[m_col] = -1.0;
+            lp.le(row, 0.0);
+        }
+    }
+
+    match xk_lp::solve(&lp) {
+        LpResult::Optimal(s) => (s.value.max(0.0), s.iterations),
+        // The LP is feasible (route everything through GPU 0) and bounded
+        // (M ≥ 0 minimized); anything else is a solver bug — fall back to
+        // the trivial bound rather than poisoning the oracle.
+        other => {
+            debug_assert!(false, "link LP not optimal: {other:?}");
+            (0.0, 0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuntimeConfig;
+    use crate::data::DataInfo;
+    use crate::sim_exec::SimExecutor;
+    use crate::task::{Access, TaskAccess};
+    use xk_kernels::perfmodel::TileOp;
+
+    const MB32: u64 = 32 << 20;
+
+    fn gemm() -> TileOp {
+        TileOp::Gemm { m: 2048, n: 2048, k: 2048 }
+    }
+
+    fn chain_graph(len: usize) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let c = g.add_host_tile(MB32, true, "C");
+        for i in 0..len {
+            g.add_task(
+                gemm(),
+                vec![TaskAccess { handle: c, access: Access::ReadWrite }],
+                format!("t{i}"),
+            );
+        }
+        g
+    }
+
+    fn fan_graph(width: usize) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let shared = g.add_host_tile(MB32, true, "A");
+        let mut handles = vec![shared];
+        for i in 0..width {
+            let c = g.add_host_tile(MB32, true, format!("C{i}"));
+            handles.push(c);
+            g.add_task(
+                gemm(),
+                vec![
+                    TaskAccess { handle: shared, access: Access::Read },
+                    TaskAccess { handle: c, access: Access::ReadWrite },
+                ],
+                format!("t{i}"),
+            );
+        }
+        g.add_flush(&handles, "flush");
+        g
+    }
+
+    #[test]
+    fn bound_is_positive_and_below_makespan() {
+        let topo = xk_topo::dgx1();
+        let cfg = RuntimeConfig::xkblas();
+        for g in [chain_graph(6), fan_graph(12)] {
+            let bound = makespan_lower_bound(&g, &topo, &cfg);
+            assert!(bound.total > 0.0);
+            let out = SimExecutor::new(&g, &topo, &cfg).run();
+            assert!(
+                bound.admits(out.makespan, 1e-9),
+                "bound {} > makespan {}",
+                bound.total,
+                out.makespan,
+            );
+            assert!(bound.gap(out.makespan).unwrap() >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn chain_bound_is_dominated_by_the_critical_path() {
+        let topo = xk_topo::dgx1();
+        let cfg = RuntimeConfig::xkblas();
+        let g = chain_graph(8);
+        let b = makespan_lower_bound(&g, &topo, &cfg);
+        assert_eq!(b.total, b.critical_path);
+        // 8 dependent kernels: at least 8 kernel times end to end.
+        assert!(b.critical_path >= 8.0 * cfg.gpu_model.kernel_time(gemm()));
+        // One GPU's worth of compute spread over 8: strictly smaller.
+        assert!(b.compute < b.critical_path);
+    }
+
+    #[test]
+    fn pure_write_first_tiles_need_no_h2d() {
+        // First access writes: host data is never read, so the LP sees no
+        // mandatory H2D for it.
+        let mut g = TaskGraph::new();
+        let c = g.add_host_tile(MB32, true, "C");
+        g.add_task(gemm(), vec![TaskAccess { handle: c, access: Access::Write }], "w");
+        g.add_task(gemm(), vec![TaskAccess { handle: c, access: Access::Read }], "r");
+        let topo = xk_topo::dgx1();
+        let cfg = RuntimeConfig::xkblas();
+        let b = makespan_lower_bound(&g, &topo, &cfg);
+        assert_eq!(b.link_lp, 0.0);
+        assert_eq!(b.lp_iterations, 0);
+        // Two dependent kernels still chain.
+        assert!(b.critical_path >= 2.0 * cfg.gpu_model.kernel_time(gemm()));
+    }
+
+    #[test]
+    fn device_initial_dirty_tiles_force_a_writeback_bound() {
+        let mut g = TaskGraph::new();
+        let c = g.add_data(DataInfo::on_gpu(MB32, 0, "C"));
+        g.add_task(gemm(), vec![TaskAccess { handle: c, access: Access::Read }], "r");
+        g.add_flush(&[c], "flush");
+        let topo = xk_topo::dgx1();
+        let cfg = RuntimeConfig::xkblas();
+        let b = makespan_lower_bound(&g, &topo, &cfg);
+        assert!(b.link_lp > 0.0, "flush of a dirty device tile moves bytes");
+        let out = SimExecutor::new(&g, &topo, &cfg).run();
+        assert!(b.admits(out.makespan, 1e-9));
+    }
+
+    #[test]
+    fn bound_is_schedule_independent() {
+        let topo = xk_topo::dgx1();
+        let g = fan_graph(8);
+        let a = makespan_lower_bound(&g, &topo, &RuntimeConfig::xkblas());
+        let b = makespan_lower_bound(
+            &g,
+            &topo,
+            &RuntimeConfig::xkblas().with_heuristics(crate::config::Heuristics::none()),
+        );
+        // Heuristics do not enter the bound (same model, same graph).
+        assert_eq!(a, b);
+    }
+}

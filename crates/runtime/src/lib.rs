@@ -43,6 +43,8 @@
 
 #![warn(missing_docs)]
 
+pub mod attribution;
+pub mod bound;
 pub mod cache;
 pub mod choice;
 pub mod config;
@@ -57,6 +59,8 @@ pub mod session;
 pub mod sim_exec;
 pub mod task;
 
+pub use attribution::{link_attribution, Attribution, LinkValue};
+pub use bound::{makespan_lower_bound, MakespanBound};
 pub use cache::{Eviction, ReplicaState, SoftwareCache};
 pub use choice::{CanonicalController, ChoicePoint, ScheduleController};
 pub use config::{Heuristics, RuntimeConfig, SchedulerKind};

@@ -29,6 +29,8 @@
 
 use xk_topo::FabricSpec;
 
+use crate::attribution::{link_attribution, Attribution};
+use crate::bound::{makespan_lower_bound, MakespanBound};
 use crate::config::RuntimeConfig;
 use crate::graph::TaskGraph;
 use crate::obs::{ObsLevel, ObsReport};
@@ -100,7 +102,7 @@ impl<'t> SimSession<'t> {
         if let Some(fault) = self.fault {
             exec = exec.with_fault(fault);
         }
-        Run { outcome: exec.run() }
+        Run { outcome: exec.run(), bound: None }
     }
 
     /// Simulates `graph` from shared precomputed per-graph state.
@@ -114,7 +116,7 @@ impl<'t> SimSession<'t> {
         if let Some(fault) = self.fault {
             exec = exec.with_fault(fault);
         }
-        Run { outcome: exec.run() }
+        Run { outcome: exec.run(), bound: None }
     }
 
     /// Simulates `graph` under a [`ScheduleController`]: every
@@ -127,7 +129,7 @@ impl<'t> SimSession<'t> {
         if let Some(fault) = self.fault {
             exec = exec.with_fault(fault);
         }
-        Run { outcome: exec.run() }
+        Run { outcome: exec.run(), bound: None }
     }
 
     /// Point-to-point bandwidth matrix of the session's topology, GB/s,
@@ -136,12 +138,37 @@ impl<'t> SimSession<'t> {
     pub fn bandwidth_matrix(&self, bytes: u64) -> Vec<Vec<f64>> {
         bandwidth_matrix_of(self.topo, bytes)
     }
+
+    /// Schedule-free makespan lower bound for `graph` on this session's
+    /// topology and configuration (see [`crate::bound`]). The bound holds
+    /// for *every* schedule the simulator can produce, so it never changes
+    /// with heuristics, scheduler kind or controller decisions.
+    pub fn lower_bound(&self, graph: &TaskGraph) -> MakespanBound {
+        makespan_lower_bound(graph, self.topo, &self.cfg)
+    }
+
+    /// Like [`SimSession::run`] but also computes the makespan lower bound,
+    /// so the returned [`Run`] can report its optimality gap directly.
+    pub fn run_bounded(&self, graph: &TaskGraph) -> Run {
+        let mut run = self.run(graph);
+        run.bound = Some(self.lower_bound(graph));
+        run
+    }
+
+    /// Shapley-style per-NVLink-edge value attribution of the throughput
+    /// this session achieves on `graph` (see [`crate::attribution`]).
+    /// `samples == 0` picks exhaustive enumeration on small meshes;
+    /// `seed` makes sampled attributions reproducible.
+    pub fn attribute_links(&self, graph: &TaskGraph, samples: usize, seed: u64) -> Attribution {
+        link_attribution(graph, self.topo, &self.cfg, samples, seed)
+    }
 }
 
 /// A completed simulated run, as returned by [`SimSession::run`].
 #[derive(Clone, Debug)]
 pub struct Run {
     outcome: SimOutcome,
+    bound: Option<MakespanBound>,
 }
 
 impl Run {
@@ -159,6 +186,19 @@ impl Run {
     /// [`ObsLevel::Off`].
     pub fn metrics(&self) -> Option<&ObsReport> {
         self.outcome.obs.as_ref()
+    }
+
+    /// The makespan lower bound; `Some` only for runs started with
+    /// [`SimSession::run_bounded`].
+    pub fn lower_bound(&self) -> Option<&MakespanBound> {
+        self.bound.as_ref()
+    }
+
+    /// Relative optimality gap of this run's makespan against the lower
+    /// bound (`0` = provably optimal). `None` unless the run came from
+    /// [`SimSession::run_bounded`] (or the workload is empty).
+    pub fn optimality_gap(&self) -> Option<f64> {
+        self.bound.as_ref().and_then(|b| b.gap(self.outcome.makespan))
     }
 
     /// Unwraps into the owned [`SimOutcome`].
@@ -232,6 +272,25 @@ mod tests {
         #[allow(deprecated)]
         let legacy = crate::sim_exec::measure_bandwidth_matrix(&topo, 64 << 20);
         assert_eq!(m, legacy);
+    }
+
+    #[test]
+    fn run_bounded_reports_a_nonnegative_gap() {
+        let topo = dgx1();
+        let g = graph();
+        let plain = SimSession::on(&topo).run(&g);
+        assert!(plain.lower_bound().is_none());
+        assert!(plain.optimality_gap().is_none());
+        let bounded = SimSession::on(&topo).run_bounded(&g);
+        let b = bounded.lower_bound().expect("bound computed");
+        assert!(b.total > 0.0);
+        assert!(b.admits(bounded.outcome().makespan, 1e-9));
+        assert!(bounded.optimality_gap().unwrap() >= -1e-9);
+        // Bounding never perturbs the simulation itself.
+        assert_eq!(
+            plain.outcome().makespan.to_bits(),
+            bounded.outcome().makespan.to_bits()
+        );
     }
 
     #[test]

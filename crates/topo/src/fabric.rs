@@ -590,6 +590,45 @@ impl FabricSpec {
         }
         edges
     }
+
+    /// Topology surgery: a copy of this fabric with every off-diagonal
+    /// GPU↔GPU link rewritten by `f`. The rewrite is applied once per
+    /// unordered pair `(a < b)` and mirrored, so link symmetry — which
+    /// [`FabricSpec::validate`] enforces — is preserved by construction.
+    /// Every other table (host links, switches, nodes, tiers) is kept.
+    ///
+    /// This is the primitive behind link-coalition valuation: the Shapley
+    /// attribution layer re-runs the simulator on fabrics where subsets of
+    /// NVLink edges are downgraded to their PCIe fallback, and the caller
+    /// must not be able to produce an inconsistent spec while doing so —
+    /// hence a closure over pairs rather than raw table access.
+    pub fn map_gpu_links(
+        &self,
+        name: impl Into<String>,
+        mut f: impl FnMut(usize, usize, &LinkSpec) -> LinkSpec,
+    ) -> Result<Self, String> {
+        let n = self.n_gpus;
+        let mut gpu_gpu = self.gpu_gpu.clone();
+        for a in 0..n {
+            for b in a + 1..n {
+                let link = f(a, b, &self.gpu_gpu[a * n + b]);
+                gpu_gpu[a * n + b] = link;
+                gpu_gpu[b * n + a] = link;
+            }
+        }
+        FabricSpec::from_parts(
+            name.into(),
+            n,
+            gpu_gpu,
+            self.host_gpu.clone(),
+            self.gpu_switch.clone(),
+            self.switch_socket.clone(),
+            self.gpu_node.clone(),
+            self.n_nodes,
+            self.inter_node,
+            self.switch_tier,
+        )
+    }
 }
 
 /// The legacy name of [`FabricSpec`], kept as a thin shim for one release.
@@ -697,5 +736,29 @@ mod tests {
         assert_eq!(a.fingerprint(), b.fingerprint());
         assert_eq!(a.fingerprint(), a.clone().fingerprint());
         assert_ne!(a.fingerprint(), crate::dgx1().fingerprint());
+    }
+
+    #[test]
+    fn map_gpu_links_rewrites_pairs_symmetrically() {
+        let t = crate::dgx1();
+        let pcie = LinkSpec::new(LinkClass::Pcie, bw::PCIE_P2P);
+        let cut = t
+            .map_gpu_links("dgx1-cut01", |a, b, l| {
+                if (a, b) == (0, 1) {
+                    pcie
+                } else {
+                    *l
+                }
+            })
+            .expect("surgery keeps the spec valid");
+        assert_eq!(cut.gpu_link(0, 1).class, LinkClass::Pcie);
+        assert_eq!(cut.gpu_link(1, 0).class, LinkClass::Pcie);
+        // Everything else untouched, including the diagonal.
+        assert_eq!(cut.gpu_link(0, 0).class, LinkClass::Local);
+        assert_eq!(cut.gpu_link(2, 3).class, t.gpu_link(2, 3).class);
+        assert_eq!(cut.nvlink_edges().len(), t.nvlink_edges().len() - 1);
+        // Identity surgery reproduces the link tables bit-for-bit.
+        let same = t.map_gpu_links("dgx1", |_, _, l| *l).unwrap();
+        assert_eq!(same.fingerprint(), t.fingerprint());
     }
 }

@@ -54,6 +54,7 @@
 pub use xk_baselines as baselines;
 pub use xk_bench as bench;
 pub use xk_kernels as kernels;
+pub use xk_lp as lp;
 pub use xk_runtime as runtime;
 pub use xk_serve as serve;
 pub use xk_sim as sim;
@@ -64,7 +65,8 @@ pub use xkblas_core as blas;
 /// The most common imports in one place.
 pub mod prelude {
     pub use xk_runtime::{
-        Error, Heuristics, ObsLevel, ObsReport, RuntimeConfig, SchedulerKind, SimSession,
+        Attribution, Error, Heuristics, MakespanBound, ObsLevel, ObsReport, RuntimeConfig,
+        SchedulerKind, SimSession,
     };
     pub use xk_topo::{builders, dgx1, fabrics, Device, FabricBuilder, FabricSpec};
     pub use xkblas_core::{
